@@ -1,0 +1,68 @@
+//! Shared training/evaluation inputs for all baselines.
+
+use std::collections::HashMap;
+
+use rtt_netlist::{CellLibrary, Netlist, PinId, TimingGraph};
+use rtt_place::Placement;
+
+/// One design's data as a baseline sees it: the *pre-optimization* netlist
+/// and placement (the prediction-time inputs) plus sign-off labels that
+/// exist only on surviving elements (the semi-supervised adaptation of
+/// Section VI-B).
+pub struct BaselineInputs<'a> {
+    /// Design name (reporting only).
+    pub name: &'a str,
+    /// The input (pre-optimization) netlist.
+    pub netlist: &'a Netlist,
+    /// Cell library.
+    pub library: &'a CellLibrary,
+    /// The input placement.
+    pub placement: &'a Placement,
+    /// Timing graph of the input netlist.
+    pub graph: &'a TimingGraph,
+    /// Sign-off net-edge delays for *surviving* edges `(driver, sink)`.
+    pub signoff_net_delays: &'a HashMap<(PinId, PinId), f32>,
+    /// Sign-off cell-edge delays for *surviving* cells `(input, output)`.
+    pub signoff_cell_delays: &'a HashMap<(PinId, PinId), f32>,
+    /// Sign-off arrival times at surviving pins.
+    pub signoff_arrivals: &'a HashMap<PinId, f32>,
+    /// Sign-off endpoint arrivals, aligned with `graph.endpoints()` (the
+    /// global prediction target; endpoints always survive).
+    pub endpoint_targets: &'a [f32],
+}
+
+impl BaselineInputs<'_> {
+    /// Number of endpoints.
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoint_targets.len()
+    }
+
+    /// Sign-off *stage* delay for a surviving net edge `(driver, sink)`:
+    /// the driver's cell delay (if the driver is a cell output whose cell
+    /// survived) plus the net-edge delay. Returns `None` if any piece was
+    /// replaced.
+    pub fn stage_label(&self, driver: PinId, sink: PinId) -> Option<f32> {
+        let net = *self.signoff_net_delays.get(&(driver, sink))?;
+        let cell_delay = match self.netlist.pin(driver).cell {
+            None => 0.0, // port-driven stage has no cell part
+            Some(cid) => {
+                let c = self.netlist.cell(cid);
+                if self.library.cell_type(c.type_id).is_sequential() {
+                    0.0 // launch edge; clk→q is modelled as source time
+                } else {
+                    // All input arcs share one delay in our model; any arc
+                    // that survived carries it.
+                    let mut found = None;
+                    for &i in &c.inputs {
+                        if let Some(&d) = self.signoff_cell_delays.get(&(i, c.output)) {
+                            found = Some(d);
+                            break;
+                        }
+                    }
+                    found?
+                }
+            }
+        };
+        Some(cell_delay + net)
+    }
+}

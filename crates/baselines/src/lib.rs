@@ -1,0 +1,29 @@
+//! Reimplementations of the paper's three baselines on shared substrates.
+//!
+//! The paper compares against three local-view pre-routing timing
+//! evaluators, adapted to the restructuring scenario by training them
+//! *semi-supervised* on the nets/cells/pins that survive optimization:
+//!
+//! * **DAC19** (Barboza et al.) — a two-stage method: an MLP on handcrafted
+//!   local features predicts per-stage (driver cell + net) delays, then a
+//!   PERT traversal assembles endpoint arrival times.
+//! * **DAC22-he** (He et al.) — two-stage with a *look-ahead RC network*:
+//!   the wire feature is an Elmore delay on an estimated (detour-free)
+//!   routing topology rather than a raw Manhattan distance.
+//! * **DAC22-guo** (Guo et al.) — an end-to-end GNN that propagates
+//!   embeddings in topological order and is supervised on endpoint arrival
+//!   *plus* auxiliary local labels (net delay, cell delay, pin arrival).
+//!
+//! All three expose the same interface: train on [`BaselineInputs`] of
+//! several designs, then predict local stage delays (left columns of
+//! Table II) and endpoint arrivals (right columns).
+
+#![warn(missing_docs)]
+
+mod guo;
+mod inputs;
+mod two_stage;
+
+pub use guo::{GuoConfig, GuoModel};
+pub use inputs::BaselineInputs;
+pub use two_stage::{TwoStageKind, TwoStageModel};

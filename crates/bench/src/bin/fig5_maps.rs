@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 5**: the cell-density, RUDY, and macro-region layout
+//! maps for two designs (or1200 and rocket), written as PGM images.
+
+use rtt_bench::Cli;
+use rtt_circgen::preset;
+use rtt_features::LayoutMaps;
+use rtt_netlist::CellLibrary;
+use rtt_place::{place, PlaceConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let lib = CellLibrary::asap7_like();
+    let grid = 128;
+    let mut report = format!("# Fig. 5 layout feature maps (scale: {})\n\n", cli.scale);
+
+    for name in ["or1200", "rocket"] {
+        let params = preset(name, cli.scale).expect("known design");
+        let design = params.generate(&lib);
+        let pl = place(
+            &design.netlist,
+            &lib,
+            design.num_macros.max(1),
+            &PlaceConfig::default(),
+        );
+        let maps = LayoutMaps::extract(&design.netlist, &lib, &pl, grid);
+        for (label, grid_map) in [
+            ("density", &maps.density),
+            ("rudy", &maps.rudy),
+            ("macros", &maps.macros),
+        ] {
+            let mut img = grid_map.clone();
+            img.normalize_max();
+            cli.write_bytes(&format!("fig5/{name}_{label}.pgm"), &img.to_pgm());
+        }
+        report.push_str(&format!(
+            "- **{name}**: {} cells, {} macros, density max {:.2}, rudy max {:.2} \
+             (images under `fig5/`)\n",
+            design.netlist.num_cells(),
+            pl.floorplan().macros.len(),
+            maps.density.max(),
+            maps.rudy.max(),
+        ));
+    }
+    cli.write_report("fig5", &report);
+}

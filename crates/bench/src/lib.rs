@@ -1,0 +1,110 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary accepts `--scale {tiny|small|paper}` (default `small`),
+//! optional `--epochs N`, and `--out DIR` (default `results/`). See
+//! `EXPERIMENTS.md` for the mapping from paper artifact to binary.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use rtt_circgen::Scale;
+
+/// Parsed command-line options common to all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Design/model scale.
+    pub scale: Scale,
+    /// Override for training epochs (meaning depends on the binary).
+    pub epochs: Option<usize>,
+    /// Output directory for reports and images.
+    pub out: PathBuf,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self { scale: Scale::Small, epochs: None, out: PathBuf::from("results") }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        let mut cli = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    match v.parse::<Scale>() {
+                        Ok(s) => cli.scale = s,
+                        Err(e) => usage(&e),
+                    }
+                }
+                "--epochs" => {
+                    let v = args.next().unwrap_or_default();
+                    match v.parse::<usize>() {
+                        Ok(n) => cli.epochs = Some(n),
+                        Err(e) => usage(&format!("bad epochs: {e}")),
+                    }
+                }
+                "--out" => {
+                    cli.out = PathBuf::from(args.next().unwrap_or_default());
+                }
+                "--help" | "-h" => usage("")
+                ,
+                other => usage(&format!("unknown argument `{other}`")),
+            }
+        }
+        cli
+    }
+
+    /// Writes a markdown report to `<out>/<name>.md` and echoes it to
+    /// stdout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output directory cannot be created or written.
+    pub fn write_report(&self, name: &str, content: &str) {
+        std::fs::create_dir_all(&self.out).expect("create output dir");
+        let path = self.out.join(format!("{name}.md"));
+        std::fs::write(&path, content).expect("write report");
+        println!("{content}");
+        eprintln!("[written to {}]", path.display());
+    }
+
+    /// Writes raw bytes (e.g. a PGM image) under the output directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_bytes(&self, rel: &str, bytes: &[u8]) {
+        let path = self.out.join(rel);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(&path, bytes).expect("write file");
+        eprintln!("[written to {}]", path.display());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--scale tiny|small|paper] [--epochs N] [--out DIR]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_small_scale() {
+        let c = Cli::default();
+        assert_eq!(c.scale, Scale::Small);
+        assert!(c.epochs.is_none());
+        assert_eq!(c.out, PathBuf::from("results"));
+    }
+}

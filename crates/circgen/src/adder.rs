@@ -1,0 +1,89 @@
+//! A small hand-structured circuit used by examples and tests.
+
+use rtt_netlist::{CellLibrary, GateFn, Netlist};
+
+/// Builds an `n`-bit ripple-carry adder with registered outputs.
+///
+/// Unlike the random generator, this circuit has a known exact structure —
+/// the critical path is the carry chain — which makes it a good smoke-test
+/// workload for the STA engine, the optimizer, and the examples.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(bits: usize, library: &CellLibrary) -> Netlist {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut nl = Netlist::new(format!("rca{bits}"));
+    let xor = library.pick(GateFn::Xor2, 1).expect("XOR2_X1");
+    let and = library.pick(GateFn::And2, 1).expect("AND2_X1");
+    let or = library.pick(GateFn::Or2, 1).expect("OR2_X1");
+    let dff = library.pick(GateFn::Dff, 1).expect("DFF_X1");
+
+    let mut carry = nl.add_input_port("cin");
+    for b in 0..bits {
+        let a = nl.add_input_port(format!("a{b}"));
+        let c = nl.add_input_port(format!("b{b}"));
+
+        // p = a ^ b ; s = p ^ cin ; g = a & b ; t = p & cin ; cout = g | t
+        let (xp, xp_o) = nl.add_cell(format!("xp{b}"), xor, library);
+        let (xs, xs_o) = nl.add_cell(format!("xs{b}"), xor, library);
+        let (ag, ag_o) = nl.add_cell(format!("ag{b}"), and, library);
+        let (at, at_o) = nl.add_cell(format!("at{b}"), and, library);
+        let (oc, oc_o) = nl.add_cell(format!("oc{b}"), or, library);
+        let (rs, rs_q) = nl.add_cell(format!("rs{b}"), dff, library);
+
+        let (xp_i0, xp_i1) = (nl.cell(xp).inputs[0], nl.cell(xp).inputs[1]);
+        let (xs_i0, xs_i1) = (nl.cell(xs).inputs[0], nl.cell(xs).inputs[1]);
+        let (ag_i0, ag_i1) = (nl.cell(ag).inputs[0], nl.cell(ag).inputs[1]);
+        let (at_i0, at_i1) = (nl.cell(at).inputs[0], nl.cell(at).inputs[1]);
+        let (oc_i0, oc_i1) = (nl.cell(oc).inputs[0], nl.cell(oc).inputs[1]);
+        let rs_d = nl.cell(rs).inputs[0];
+
+        nl.connect_net(format!("na{b}"), a, &[xp_i0, ag_i0]).expect("fresh pins");
+        nl.connect_net(format!("nb{b}"), c, &[xp_i1, ag_i1]).expect("fresh pins");
+        nl.connect_net(format!("np{b}"), xp_o, &[xs_i0, at_i0]).expect("fresh pins");
+        nl.connect_net(format!("nc{b}"), carry, &[xs_i1, at_i1]).expect("fresh pins");
+        nl.connect_net(format!("ng{b}"), ag_o, &[oc_i0]).expect("fresh pins");
+        nl.connect_net(format!("nt{b}"), at_o, &[oc_i1]).expect("fresh pins");
+        nl.connect_net(format!("ns{b}"), xs_o, &[rs_d]).expect("fresh pins");
+        let so = nl.add_output_port(format!("s{b}"));
+        nl.connect_net(format!("nq{b}"), rs_q, &[so]).expect("fresh pins");
+        carry = oc_o;
+    }
+    let cout = nl.add_output_port("cout");
+    nl.connect_net("ncout", carry, &[cout]).expect("fresh pins");
+    nl.validate().expect("adder is structurally valid");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_netlist::TimingGraph;
+
+    #[test]
+    fn adder_structure() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(8, &lib);
+        // 5 gates + 1 flop per bit
+        assert_eq!(nl.num_cells(), 8 * 6);
+        let g = TimingGraph::build(&nl, &lib);
+        // endpoints: 8 flop D pins + 8 registered outputs + cout
+        assert_eq!(g.endpoints().len(), 17);
+    }
+
+    #[test]
+    fn carry_chain_sets_the_depth() {
+        let lib = CellLibrary::asap7_like();
+        let g4 = TimingGraph::build(&ripple_carry_adder(4, &lib), &lib);
+        let g8 = TimingGraph::build(&ripple_carry_adder(8, &lib), &lib);
+        assert!(g8.max_level() > g4.max_level());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        let lib = CellLibrary::asap7_like();
+        let _ = ripple_carry_adder(0, &lib);
+    }
+}

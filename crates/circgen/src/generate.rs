@@ -1,0 +1,350 @@
+//! The layered random-logic generator.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rtt_netlist::{CellLibrary, CellTypeId, GateFn, Netlist, PinId};
+
+use crate::GenParams;
+
+/// Output of [`GenParams::generate`]: the netlist plus physical hints for
+/// the placer.
+#[derive(Clone, Debug)]
+pub struct GeneratedDesign {
+    /// The generated gate-level netlist.
+    pub netlist: Netlist,
+    /// Number of macro blocks the placer should carve out of the die.
+    pub num_macros: usize,
+    /// The parameters the design was generated from.
+    pub params: GenParams,
+}
+
+/// Relative frequency of each combinational gate function, mimicking a
+/// commercial synthesis result (NAND/NOR-heavy, sparse XOR/MUX/AOI).
+const GATE_MIX: [(GateFn, u32); 14] = [
+    (GateFn::Nand2, 18),
+    (GateFn::Nor2, 12),
+    (GateFn::And2, 12),
+    (GateFn::Or2, 10),
+    (GateFn::Inv, 10),
+    (GateFn::And3, 6),
+    (GateFn::Or3, 5),
+    (GateFn::And4, 4),
+    (GateFn::Or4, 3),
+    (GateFn::Xor2, 6),
+    (GateFn::Xnor2, 4),
+    (GateFn::Mux2, 6),
+    (GateFn::Aoi22, 4),
+    (GateFn::Buf, 2),
+];
+
+fn sample_gate(rng: &mut StdRng) -> GateFn {
+    let total: u32 = GATE_MIX.iter().map(|(_, w)| w).sum();
+    let mut r = rng.gen_range(0..total);
+    for &(g, w) in &GATE_MIX {
+        if r < w {
+            return g;
+        }
+        r -= w;
+    }
+    unreachable!("weights exhausted")
+}
+
+/// Synthesis output carries a spread of drive strengths; the downstream
+/// optimizer both upsizes (critical cones) and downsizes (area recovery),
+/// so the initial distribution needs room in both directions.
+fn sample_drive(rng: &mut StdRng) -> u8 {
+    let r: f64 = rng.gen();
+    if r < 0.40 {
+        1
+    } else if r < 0.70 {
+        2
+    } else if r < 0.90 {
+        4
+    } else {
+        8
+    }
+}
+
+struct DriverPool {
+    /// `(driver pin, logic depth)` for every net driver created so far.
+    drivers: Vec<(PinId, u32)>,
+    /// Indices into `drivers` whose output has not been used yet.
+    unconsumed: VecDeque<usize>,
+    /// Accumulated sinks per driver; nets are emitted at the end.
+    sinks: Vec<Vec<PinId>>,
+}
+
+impl DriverPool {
+    fn new() -> Self {
+        Self { drivers: Vec::new(), unconsumed: VecDeque::new(), sinks: Vec::new() }
+    }
+
+    fn add(&mut self, pin: PinId, depth: u32) -> usize {
+        let idx = self.drivers.len();
+        self.drivers.push((pin, depth));
+        self.sinks.push(Vec::new());
+        self.unconsumed.push_back(idx);
+        idx
+    }
+
+    fn attach(&mut self, driver_idx: usize, sink: PinId) {
+        self.sinks[driver_idx].push(sink);
+    }
+}
+
+impl GenParams {
+    /// Generates the design described by these parameters.
+    ///
+    /// Deterministic: equal parameters (including `seed`) produce identical
+    /// netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library lacks a required gate variant (never the case
+    /// for [`CellLibrary::asap7_like`]).
+    pub fn generate(&self, library: &CellLibrary) -> GeneratedDesign {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut nl = Netlist::new(self.name.clone());
+        let mut pool = DriverPool::new();
+
+        // Startpoints: primary inputs and flip-flop outputs, depth 0.
+        for i in 0..self.inputs {
+            let p = nl.add_input_port(format!("pi{i}"));
+            pool.add(p, 0);
+        }
+        let mut flop_d_pins = Vec::with_capacity(self.flops);
+        for i in 0..self.flops {
+            let ty = pick(library, GateFn::Dff, if rng.gen_bool(0.8) { 1 } else { 2 });
+            let (c, q) = nl.add_cell(format!("r{i}"), ty, library);
+            flop_d_pins.push(nl.cell(c).inputs[0]);
+            pool.add(q, 0);
+        }
+
+        // Combinational gates: inputs sampled from the driver pool with a
+        // bias toward extending recent cones (creates depth variance from a
+        // couple of levels to hundreds, like real designs).
+        for g in 0..self.comb_cells {
+            let gate = sample_gate(&mut rng);
+            let ty = pick(library, gate, sample_drive(&mut rng));
+            let (c, out) = nl.add_cell(format!("g{g}"), ty, library);
+            let in_pins: Vec<PinId> = nl.cell(c).inputs.clone();
+            let mut chosen: Vec<usize> = Vec::with_capacity(in_pins.len());
+            let mut depth = 0;
+            for &ipin in &in_pins {
+                let d_idx = self.sample_driver(&mut rng, &mut pool, &chosen);
+                chosen.push(d_idx);
+                pool.attach(d_idx, ipin);
+                depth = depth.max(pool.drivers[d_idx].1 + 1);
+            }
+            pool.add(out, depth);
+        }
+
+        // Endpoints: output ports and flop D inputs. Drain the unconsumed
+        // drivers first (deepest last => assigned first), then sample.
+        let mut endpoint_sinks: Vec<PinId> = Vec::new();
+        for i in 0..self.outputs {
+            endpoint_sinks.push(nl.add_output_port(format!("po{i}")));
+        }
+        endpoint_sinks.extend(flop_d_pins);
+        for &sink in &endpoint_sinks {
+            let d_idx = match pool.unconsumed.pop_back() {
+                Some(i) => i,
+                None => rng.gen_range(0..pool.drivers.len()),
+            };
+            pool.attach(d_idx, sink);
+        }
+        // Leftover never-used drivers become extra observation ports so that
+        // no live output dangles.
+        let leftovers: Vec<usize> = pool.unconsumed.drain(..).collect();
+        for (k, d_idx) in leftovers.into_iter().enumerate() {
+            let p = nl.add_output_port(format!("po_x{k}"));
+            pool.attach(d_idx, p);
+        }
+
+        // Emit nets.
+        for (idx, (driver, _)) in pool.drivers.iter().enumerate() {
+            let sinks = &pool.sinks[idx];
+            debug_assert!(!sinks.is_empty(), "dangling driver escaped the drain");
+            nl.connect_net(format!("w{idx}"), *driver, sinks)
+                .expect("generator wiring is structurally valid");
+        }
+        nl.validate().expect("generated netlist is valid");
+
+        GeneratedDesign { netlist: nl, num_macros: self.macros, params: self.clone() }
+    }
+
+    /// Samples an input driver for a new gate, avoiding duplicates within
+    /// the gate.
+    fn sample_driver(
+        &self,
+        rng: &mut StdRng,
+        pool: &mut DriverPool,
+        taken: &[usize],
+    ) -> usize {
+        for _ in 0..8 {
+            let r: f64 = rng.gen();
+            let (cand, popped) = if r < self.depth_bias && !pool.unconsumed.is_empty() {
+                // Extend the most recent (deepest) open cone.
+                (pool.unconsumed.pop_back().expect("nonempty"), true)
+            } else if r < self.depth_bias + 0.15 && !pool.unconsumed.is_empty() {
+                // Merge in an old shallow signal (reconvergence).
+                (pool.unconsumed.pop_front().expect("nonempty"), true)
+            } else {
+                // Fanout / reconvergence within a recency window.
+                let n = pool.drivers.len();
+                let w = self.window.min(n);
+                (rng.gen_range(n - w..n), false)
+            };
+            if taken.contains(&cand) {
+                // Duplicate within this gate: restore and retry.
+                if popped {
+                    pool.unconsumed.push_back(cand);
+                }
+                continue;
+            }
+            if !popped {
+                // A random hit on a still-unconsumed driver consumes it.
+                if let Some(pos) = pool.unconsumed.iter().position(|&i| i == cand) {
+                    pool.unconsumed.remove(pos);
+                }
+            }
+            return cand;
+        }
+        // Fallback: newest non-duplicate driver; with a pool smaller than the
+        // gate's input count, a duplicate driver is acceptable (two sinks on
+        // the same cell).
+        let cand = (0..pool.drivers.len())
+            .rev()
+            .find(|i| !taken.contains(i))
+            .unwrap_or(pool.drivers.len() - 1);
+        if let Some(pos) = pool.unconsumed.iter().position(|&i| i == cand) {
+            pool.unconsumed.remove(pos);
+        }
+        cand
+    }
+}
+
+fn pick(library: &CellLibrary, gate: GateFn, drive: u8) -> CellTypeId {
+    library.pick(gate, drive).unwrap_or_else(|| {
+        library.variants(gate).first().copied().expect("gate exists in library")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{preset, Scale};
+    use rtt_netlist::TimingGraph;
+
+    fn small() -> GeneratedDesign {
+        GenParams::new("gen_test", 300, 42).generate(&CellLibrary::asap7_like())
+    }
+
+    #[test]
+    fn generated_netlist_is_valid_and_acyclic() {
+        let lib = CellLibrary::asap7_like();
+        let d = small();
+        d.netlist.validate().unwrap();
+        let g = TimingGraph::try_build(&d.netlist, &lib).unwrap();
+        assert!(g.max_level() >= 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.netlist.num_pins(), b.netlist.num_pins());
+        assert_eq!(a.netlist.num_nets(), b.netlist.num_nets());
+        let nets_a: Vec<_> = a.netlist.nets().map(|(_, n)| n.sinks.clone()).collect();
+        let nets_b: Vec<_> = b.netlist.nets().map(|(_, n)| n.sinks.clone()).collect();
+        assert_eq!(nets_a, nets_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let lib = CellLibrary::asap7_like();
+        let a = GenParams::new("a", 300, 1).generate(&lib);
+        let b = GenParams::new("a", 300, 2).generate(&lib);
+        let sa: Vec<_> = a.netlist.nets().map(|(_, n)| n.sinks.len()).collect();
+        let sb: Vec<_> = b.netlist.nets().map(|(_, n)| n.sinks.len()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn cell_count_matches_params() {
+        let d = small();
+        assert_eq!(d.netlist.num_cells(), d.params.comb_cells + d.params.flops);
+    }
+
+    #[test]
+    fn endpoints_cover_flops_and_outputs() {
+        let lib = CellLibrary::asap7_like();
+        let d = small();
+        let g = TimingGraph::build(&d.netlist, &lib);
+        // flop D pins + declared outputs + leftover observation ports
+        assert!(g.endpoints().len() >= d.params.flops + d.params.outputs);
+        assert_eq!(g.startpoints().len(), d.params.inputs + d.params.flops);
+    }
+
+    #[test]
+    fn depth_has_realistic_variance() {
+        let lib = CellLibrary::asap7_like();
+        let d = preset("jpeg", Scale::Tiny).unwrap().generate(&lib);
+        let g = TimingGraph::build(&d.netlist, &lib);
+        let levels: Vec<u32> = g.endpoints().iter().map(|&e| g.level(e)).collect();
+        let min = *levels.iter().min().unwrap();
+        let max = *levels.iter().max().unwrap();
+        // The paper reports fanin-cone depths from 2 to 400+; at tiny scale we
+        // still need a wide spread for the model to have anything to learn.
+        assert!(max >= min + 8, "levels {min}..{max} too uniform");
+    }
+
+    #[test]
+    fn fanout_is_heavy_tailed() {
+        let d = small();
+        let mut fanouts: Vec<usize> =
+            d.netlist.nets().map(|(_, n)| n.sinks.len()).collect();
+        fanouts.sort_unstable();
+        assert_eq!(fanouts[0], 1);
+        assert!(*fanouts.last().unwrap() >= 4, "max fanout {}", fanouts.last().unwrap());
+    }
+
+    #[test]
+    fn all_presets_generate_at_tiny_scale() {
+        let lib = CellLibrary::asap7_like();
+        for p in crate::all_presets(Scale::Tiny) {
+            let d = p.generate(&lib);
+            d.netlist.validate().unwrap();
+            TimingGraph::try_build(&d.netlist, &lib).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod verilog_roundtrip_tests {
+    use super::*;
+    use rtt_netlist::{parse_verilog, write_verilog, TimingGraph};
+
+    #[test]
+    fn generated_designs_roundtrip_through_verilog() {
+        let lib = CellLibrary::asap7_like();
+        for seed in [1u64, 2, 3] {
+            let d = GenParams::new(format!("rt{seed}"), 150, seed).generate(&lib);
+            let text = write_verilog(&d.netlist, &lib);
+            let back = parse_verilog(&text, &lib)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            back.validate().unwrap();
+            assert_eq!(back.num_cells(), d.netlist.num_cells());
+            assert_eq!(back.num_nets(), d.netlist.num_nets());
+            let g1 = TimingGraph::build(&d.netlist, &lib);
+            let g2 = TimingGraph::build(&back, &lib);
+            assert_eq!(g1.num_net_edges(), g2.num_net_edges());
+            assert_eq!(g1.num_cell_edges(), g2.num_cell_edges());
+            assert_eq!(g1.max_level(), g2.max_level());
+            assert_eq!(g1.endpoints().len(), g2.endpoints().len());
+        }
+    }
+}

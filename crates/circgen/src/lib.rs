@@ -1,0 +1,35 @@
+//! Seeded synthetic gate-level design generation.
+//!
+//! The paper's dataset is ten open-source designs synthesized with Cadence
+//! Genus on the ASAP7 PDK — assets we cannot reproduce. This crate replaces
+//! them with a deterministic generator that produces netlists with realistic
+//! *structural statistics*: layered logic cones of widely varying depth,
+//! heavy-tailed fanout, a commercial-looking gate mix, and register
+//! boundaries that define the timing endpoints. Ten presets (see [`preset`])
+//! named after the paper's designs (Table I) preserve the designs' *relative*
+//! sizes and endpoint ratios at reduced scale (see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use rtt_circgen::{preset, Scale};
+//! use rtt_netlist::{CellLibrary, TimingGraph};
+//!
+//! let lib = CellLibrary::asap7_like();
+//! let params = preset("xgate", Scale::Tiny).expect("known design");
+//! let design = params.generate(&lib);
+//! let graph = TimingGraph::build(&design.netlist, &lib);
+//! assert!(!graph.endpoints().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod adder;
+mod generate;
+mod params;
+mod presets;
+
+pub use adder::ripple_carry_adder;
+pub use generate::GeneratedDesign;
+pub use params::{GenParams, Scale};
+pub use presets::{all_presets, preset, preset_names, TEST_DESIGNS, TRAIN_DESIGNS};

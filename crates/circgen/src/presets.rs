@@ -1,0 +1,106 @@
+//! Presets named after the paper's ten benchmark designs (Table I).
+//!
+//! At [`Scale::Small`] each preset targets roughly 1/40 of the paper's pin
+//! count while preserving the *relative* design sizes and the
+//! endpoint-to-pin ratios (or1200 is endpoint-heavy, jpeg endpoint-light,
+//! steelcore/xgate are small, hwacha is the largest, ...). The train/test
+//! split matches the paper exactly.
+
+use crate::{GenParams, Scale};
+
+/// The five training designs of the paper.
+pub const TRAIN_DESIGNS: [&str; 5] = ["jpeg", "rocket", "smallboom", "steelcore", "xgate"];
+
+/// The five held-out test designs of the paper.
+pub const TEST_DESIGNS: [&str; 5] = ["arm9", "chacha", "hwacha", "or1200", "sha3"];
+
+/// Names of all ten presets, train designs first.
+pub fn preset_names() -> Vec<&'static str> {
+    TRAIN_DESIGNS.iter().chain(TEST_DESIGNS.iter()).copied().collect()
+}
+
+/// Returns the generation parameters for one of the paper's designs at the
+/// given scale, or `None` for an unknown name.
+pub fn preset(name: &str, scale: Scale) -> Option<GenParams> {
+    // (comb cells, inputs, outputs, flops, macros, depth_bias, seed)
+    // Counts are the Scale::Small baseline (~1/40 of the paper's pins).
+    let (cells, inp, out, flops, macros, bias, seed) = match name {
+        // -- train designs ---------------------------------------------------
+        "jpeg" => (2900, 64, 48, 950, 2, 0.46, 0x6a70),
+        "rocket" => (2150, 48, 40, 1250, 3, 0.44, 0x726f),
+        "smallboom" => (2150, 48, 40, 1500, 2, 0.42, 0x736d),
+        "steelcore" => (85, 12, 8, 38, 0, 0.40, 0x7374),
+        "xgate" => (66, 10, 6, 16, 0, 0.40, 0x7867),
+        // -- test designs ----------------------------------------------------
+        "arm9" => (140, 16, 10, 58, 0, 0.42, 0x6172),
+        "chacha" => (110, 14, 10, 46, 0, 0.48, 0x6368),
+        "hwacha" => (4300, 72, 56, 1450, 4, 0.45, 0x6877),
+        "or1200" => (3100, 64, 48, 4200, 3, 0.38, 0x6f72),
+        "sha3" => (2450, 56, 40, 1450, 2, 0.47, 0x7368),
+        _ => return None,
+    };
+    Some(
+        GenParams {
+            name: name.to_owned(),
+            comb_cells: cells,
+            inputs: inp,
+            outputs: out,
+            flops,
+            macros,
+            depth_bias: bias,
+            window: 64,
+            seed,
+        }
+        .scaled(scale),
+    )
+}
+
+/// All ten presets at the given scale, train designs first.
+pub fn all_presets(scale: Scale) -> Vec<GenParams> {
+    preset_names()
+        .into_iter()
+        .map(|n| preset(n, scale).expect("listed preset exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_presets_with_paper_split() {
+        let all = all_presets(Scale::Small);
+        assert_eq!(all.len(), 10);
+        assert_eq!(&all[0].name, "jpeg");
+        assert_eq!(&all[5].name, "arm9");
+        assert!(preset("unknown", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn relative_sizes_match_table1() {
+        let g = |n| preset(n, Scale::Small).unwrap();
+        // hwacha is the largest; xgate the smallest; or1200 endpoint-heavy.
+        assert!(g("hwacha").comb_cells > g("jpeg").comb_cells);
+        assert!(g("xgate").comb_cells < g("steelcore").comb_cells);
+        let or1200 = g("or1200");
+        let jpeg = g("jpeg");
+        let edp_ratio = |p: &GenParams| (p.flops + p.outputs) as f64 / p.comb_cells as f64;
+        assert!(edp_ratio(&or1200) > 2.0 * edp_ratio(&jpeg));
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let all = all_presets(Scale::Small);
+        let mut seeds: Vec<u64> = all.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10);
+    }
+
+    #[test]
+    fn split_constants_are_disjoint() {
+        for t in TRAIN_DESIGNS {
+            assert!(!TEST_DESIGNS.contains(&t));
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The customized GNN of Section IV: levelized message passing with
+//! distinct aggregators for cell edges and net edges (Equation 3).
+
+use rand::Rng;
+
+use rtt_features::{NodeFeatures, CELL_FEATURE_DIM, NET_FEATURE_DIM};
+use rtt_netlist::{EdgeKind, NodeKind, TimingGraph};
+use rtt_nn::{Mlp, ParamStore, Tape, Tensor, Var};
+
+use crate::{Aggregation, ModelConfig};
+
+/// Readout scale for residual embeddings: they accumulate over up to
+/// hundreds of topological levels, so readout heads should rescale them
+/// into an O(1) regime.
+pub const READOUT_SCALE: f32 = 0.05;
+
+/// A static execution plan for one design: who sits at which topological
+/// level, where each node's messages come from, and how to reassemble the
+/// per-level matrices. Building it once per design and reusing it across
+/// epochs is what makes CPU training viable.
+#[derive(Clone, Debug)]
+pub struct GnnSchedule {
+    levels: Vec<LevelPlan>,
+    endpoint_locs: Vec<(u32, u32)>,
+    node_loc: Vec<(u32, u32)>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LevelPlan {
+    cell_nodes: Vec<u32>,
+    net_nodes: Vec<u32>,
+    source_nodes: Vec<u32>,
+    /// `(level, row)` of each fanin message of the cell group, flattened.
+    cell_gather: Vec<(u32, u32)>,
+    /// Segment id (index into `cell_nodes`) of each gathered message.
+    cell_seg: Vec<u32>,
+    /// Fanin count per cell node (for mean aggregation).
+    cell_fanin: Vec<f32>,
+    /// `(level, row)` of the single driver message of each net node.
+    net_gather: Vec<(u32, u32)>,
+    /// Restores level order from the `[cells, nets, sources]` concat.
+    perm: Vec<u32>,
+}
+
+impl GnnSchedule {
+    /// Plans the levelized propagation for `graph`.
+    pub fn build(graph: &TimingGraph) -> Self {
+        let mut node_loc = vec![(0u32, 0u32); graph.num_nodes()];
+        let mut levels = Vec::with_capacity(graph.max_level() as usize + 1);
+
+        for l in 0..=graph.max_level() {
+            let nodes = graph.nodes_at_level(l);
+            let mut plan = LevelPlan::default();
+            // Partition the level into groups.
+            for &v in nodes {
+                match graph.node_kind(v) {
+                    NodeKind::CellOut => plan.cell_nodes.push(v),
+                    NodeKind::NetSink => plan.net_nodes.push(v),
+                    NodeKind::Source => plan.source_nodes.push(v),
+                }
+            }
+            // Record each node's (level, row-in-level-order) location.
+            for (row, &v) in nodes.iter().enumerate() {
+                node_loc[v as usize] = (l, row as u32);
+            }
+            // Message gathers reference already-computed levels.
+            for (seg, &v) in plan.cell_nodes.iter().enumerate() {
+                let mut fanin = 0u32;
+                for e in graph.fanin(v) {
+                    debug_assert_eq!(e.kind, EdgeKind::Cell);
+                    plan.cell_gather.push(node_loc[e.from as usize]);
+                    plan.cell_seg.push(seg as u32);
+                    fanin += 1;
+                }
+                plan.cell_fanin.push(f32::from(u16::try_from(fanin).expect("fanin fits")));
+            }
+            for &v in &plan.net_nodes {
+                let e = graph.fanin(v).next().expect("net node has a driver");
+                debug_assert_eq!(e.kind, EdgeKind::Net);
+                plan.net_gather.push(node_loc[e.from as usize]);
+            }
+            // Permutation: concat order position of each level-order node.
+            let mut concat_pos = vec![0u32; nodes.len()];
+            let mut cursor = 0u32;
+            for group in [&plan.cell_nodes, &plan.net_nodes, &plan.source_nodes] {
+                for &v in group {
+                    let (_, row) = node_loc[v as usize];
+                    concat_pos[row as usize] = cursor;
+                    cursor += 1;
+                }
+            }
+            plan.perm = concat_pos;
+            levels.push(plan);
+        }
+
+        let endpoint_locs = graph
+            .endpoints()
+            .iter()
+            .map(|&v| node_loc[v as usize])
+            .collect();
+        Self { levels, endpoint_locs, node_loc }
+    }
+
+    /// Number of topological levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of endpoints the schedule will embed.
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoint_locs.len()
+    }
+
+    /// `(level, row)` location of a graph node in the level matrices —
+    /// usable as a [`Tape::gather_multi`] index over the output of
+    /// [`NetlistGnn::forward_levels`].
+    pub fn loc_of(&self, node: u32) -> (u32, u32) {
+        self.node_loc[node as usize]
+    }
+
+    /// Locations of several nodes (convenience for batched gathers).
+    pub fn locs_of(&self, nodes: &[u32]) -> Vec<(u32, u32)> {
+        nodes.iter().map(|&v| self.loc_of(v)).collect()
+    }
+}
+
+/// Per-level feature tensors consumed by the GNN forward pass, aligned
+/// with a [`GnnSchedule`]'s groups.
+#[derive(Clone, Debug, Default)]
+pub struct LevelFeats {
+    /// Cell-group features, one `[n_cells, CELL_FEATURE_DIM]` per level.
+    pub cell: Vec<Option<Tensor>>,
+    /// Net-group features, `[n_nets, NET_FEATURE_DIM]` per level.
+    pub net: Vec<Option<Tensor>>,
+    /// Source-group features, `[n_src, CELL_FEATURE_DIM]` per level.
+    pub source: Vec<Option<Tensor>>,
+}
+
+impl LevelFeats {
+    /// Assembles group feature matrices from extracted node features.
+    pub fn assemble(schedule: &GnnSchedule, features: &NodeFeatures) -> Self {
+        let mut out = Self::default();
+        for plan in &schedule.levels {
+            out.cell.push(group_matrix(&plan.cell_nodes, CELL_FEATURE_DIM, |v| {
+                features.cell_row(v)
+            }));
+            out.net.push(group_matrix(&plan.net_nodes, NET_FEATURE_DIM, |v| {
+                features.net_row(v)
+            }));
+            out.source.push(group_matrix(&plan.source_nodes, CELL_FEATURE_DIM, |v| {
+                features.cell_row(v)
+            }));
+        }
+        out
+    }
+}
+
+fn group_matrix<'f>(
+    nodes: &[u32],
+    dim: usize,
+    row: impl Fn(u32) -> &'f [f32],
+) -> Option<Tensor> {
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut data = Vec::with_capacity(nodes.len() * dim);
+    for &v in nodes {
+        data.extend_from_slice(row(v));
+    }
+    Some(Tensor::from_vec(&[nodes.len(), dim], data))
+}
+
+/// The three MLPs of Equation 3 and the levelized forward pass.
+#[derive(Clone, Debug)]
+pub struct NetlistGnn {
+    f_c1: Mlp,
+    f_c2: Mlp,
+    f_n: Mlp,
+    residual: bool,
+}
+
+impl NetlistGnn {
+    /// Registers the GNN parameters (`f_c1`, `f_c2`, `f_n` — 3-layer MLPs
+    /// as in the paper).
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, config: &ModelConfig) -> Self {
+        let d = config.embed_dim;
+        let h = config.gnn_hidden;
+        if config.residual {
+            // Small-increment initialization: fanin cones reach hundreds of
+            // levels, so per-level increments must start near zero.
+            Self {
+                f_c1: Mlp::new_scaled(store, rng, &[d, h, d], 0.1),
+                f_c2: Mlp::new_scaled(store, rng, &[CELL_FEATURE_DIM, h, d], 0.1),
+                f_n: Mlp::new_scaled(store, rng, &[NET_FEATURE_DIM, h, d], 0.1),
+                residual: true,
+            }
+        } else {
+            Self {
+                f_c1: Mlp::new(store, rng, &[d, h, d]),
+                f_c2: Mlp::new(store, rng, &[CELL_FEATURE_DIM, h, d]),
+                f_n: Mlp::new(store, rng, &[NET_FEATURE_DIM, h, d]),
+                residual: false,
+            }
+        }
+    }
+
+    /// Runs levelized propagation and returns the endpoint embedding
+    /// matrix `[num_endpoints, embed_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feats` does not match `schedule` (group shape mismatch).
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        schedule: &GnnSchedule,
+        feats: &LevelFeats,
+        aggregation: Aggregation,
+    ) -> Var<'t> {
+        let level_vars = self.forward_levels(tape, store, schedule, feats, aggregation);
+        tape.gather_multi(&level_vars, &schedule.endpoint_locs)
+    }
+
+    /// Like [`Self::forward`], but returns every per-level embedding matrix
+    /// so callers can read out arbitrary node embeddings via
+    /// [`GnnSchedule::loc_of`] (the end-to-end baseline predicts at all
+    /// pins, not only endpoints).
+    pub fn forward_levels<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        schedule: &GnnSchedule,
+        feats: &LevelFeats,
+        aggregation: Aggregation,
+    ) -> Vec<Var<'t>> {
+        let mut level_vars: Vec<Var<'t>> = Vec::with_capacity(schedule.levels.len());
+        for (l, plan) in schedule.levels.iter().enumerate() {
+            let mut groups: Vec<Var<'t>> = Vec::new();
+
+            if !plan.cell_nodes.is_empty() {
+                let msgs = tape.gather_multi(&level_vars, &plan.cell_gather);
+                let agg = match aggregation {
+                    Aggregation::Max => {
+                        tape.segment_max(msgs, &plan.cell_seg, plan.cell_nodes.len())
+                    }
+                    Aggregation::Mean => {
+                        let sum =
+                            tape.segment_sum(msgs, &plan.cell_seg, plan.cell_nodes.len());
+                        let inv: Vec<f32> =
+                            plan.cell_fanin.iter().map(|&c| 1.0 / c.max(1.0)).collect();
+                        tape.scale_rows(sum, &inv)
+                    }
+                };
+                let feat = tape.constant(feats.cell[l].clone().expect("cell feats present"));
+                let h = if self.residual {
+                    // Residual: accumulate a *bounded* non-negative
+                    // increment on top of the worst fanin message,
+                    // mirroring arrival-time propagation. The context into
+                    // f_c1 is tanh-bounded: an increment proportional to
+                    // the accumulated magnitude would grow exponentially
+                    // over hundred-level cones.
+                    let ctx = agg.tanh();
+                    let inc = self
+                        .f_c1
+                        .forward(tape, store, ctx)
+                        .add(self.f_c2.forward(tape, store, feat))
+                        .relu();
+                    agg.add(inc)
+                } else {
+                    // Literal Equation 3.
+                    self.f_c1
+                        .forward(tape, store, agg)
+                        .add(self.f_c2.forward(tape, store, feat))
+                        .relu()
+                };
+                groups.push(h);
+            }
+            if !plan.net_nodes.is_empty() {
+                let msg = tape.gather_multi(&level_vars, &plan.net_gather);
+                let feat = tape.constant(feats.net[l].clone().expect("net feats present"));
+                let inc = if self.residual {
+                    self.f_n.forward(tape, store, feat).relu()
+                } else {
+                    msg.add(self.f_n.forward(tape, store, feat)).relu()
+                };
+                let h = if self.residual { msg.add(inc) } else { inc };
+                groups.push(h);
+            }
+            if !plan.source_nodes.is_empty() {
+                let feat =
+                    tape.constant(feats.source[l].clone().expect("source feats present"));
+                let h = self.f_c2.forward(tape, store, feat).relu();
+                groups.push(h);
+            }
+
+            let concat = groups
+                .into_iter()
+                .reduce(|a, b| tape.concat_rows(a, b))
+                .expect("every level has nodes");
+            level_vars.push(tape.gather_rows(concat, &plan.perm));
+        }
+        level_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rtt_circgen::{ripple_carry_adder, GenParams};
+    use rtt_netlist::CellLibrary;
+    use rtt_place::{place, PlaceConfig};
+
+    fn world(cells: usize) -> (GnnSchedule, LevelFeats, usize) {
+        let lib = CellLibrary::asap7_like();
+        let nl = if cells == 0 {
+            ripple_carry_adder(4, &lib)
+        } else {
+            GenParams::new("g", cells, 3).generate(&lib).netlist
+        };
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let graph = TimingGraph::build(&nl, &lib);
+        let schedule = GnnSchedule::build(&graph);
+        let features = NodeFeatures::extract(&nl, &lib, &graph, &pl);
+        let feats = LevelFeats::assemble(&schedule, &features);
+        (schedule, feats, graph.endpoints().len())
+    }
+
+    #[test]
+    fn schedule_covers_all_endpoints() {
+        let (schedule, _, n_ep) = world(0);
+        assert_eq!(schedule.num_endpoints(), n_ep);
+        assert!(schedule.num_levels() > 3);
+    }
+
+    #[test]
+    fn sources_only_at_level_zero() {
+        let (schedule, _, _) = world(200);
+        for (l, plan) in schedule.levels.iter().enumerate() {
+            if l > 0 {
+                assert!(plan.source_nodes.is_empty(), "source above level 0");
+                assert_eq!(plan.cell_gather.is_empty(), plan.cell_nodes.is_empty());
+            }
+        }
+        assert!(!schedule.levels[0].source_nodes.is_empty());
+        assert!(schedule.levels[0].cell_nodes.is_empty());
+    }
+
+    #[test]
+    fn gathers_reference_earlier_levels_only() {
+        let (schedule, _, _) = world(200);
+        for (l, plan) in schedule.levels.iter().enumerate() {
+            for &(src_level, _) in plan.cell_gather.iter().chain(&plan.net_gather) {
+                assert!((src_level as usize) < l, "forward reference at level {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_produces_endpoint_matrix() {
+        let (schedule, feats, n_ep) = world(150);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cfg = ModelConfig::tiny();
+        let gnn = NetlistGnn::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let emb = gnn.forward(&tape, &store, &schedule, &feats, Aggregation::Max);
+        let t = tape.value(emb);
+        assert_eq!(t.shape(), &[n_ep, cfg.embed_dim]);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+        // Embeddings must differ across endpoints (no collapse at init).
+        let first = t.row(0).to_vec();
+        assert!((1..n_ep).any(|r| t.row(r) != first.as_slice()));
+    }
+
+    #[test]
+    fn mean_and_max_aggregation_differ() {
+        let (schedule, feats, _) = world(120);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cfg = ModelConfig::tiny();
+        let gnn = NetlistGnn::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let a = tape.value(gnn.forward(&tape, &store, &schedule, &feats, Aggregation::Max));
+        let b = tape.value(gnn.forward(&tape, &store, &schedule, &feats, Aggregation::Mean));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_three_mlps() {
+        let (schedule, feats, _) = world(100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cfg = ModelConfig::tiny();
+        let gnn = NetlistGnn::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let emb = gnn.forward(&tape, &store, &schedule, &feats, Aggregation::Max);
+        let loss = emb.mul(emb).mean();
+        let grads = tape.backward(loss);
+        let mut with_grad = 0;
+        for (id, _) in store.iter() {
+            if grads.of(id).is_some_and(|g| g.norm() > 0.0) {
+                with_grad += 1;
+            }
+        }
+        // 3 MLPs × 2 layers × (w, b) = 12 parameter tensors.
+        assert!(with_grad >= 10, "only {with_grad} params receive gradient");
+    }
+}

@@ -1,0 +1,398 @@
+//! The end-to-end endpoint-embedding model and its trainer.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rtt_nn::{mse, Adam, Linear, Mlp, ParamStore, Tape, Tensor, Var};
+
+use crate::cnn::LayoutCnn;
+use crate::gnn::NetlistGnn;
+use crate::{ModelConfig, ModelVariant, PreparedDesign, TrainConfig};
+
+/// Training history.
+#[derive(Clone, Debug, Default)]
+pub struct TrainLog {
+    /// Mean training loss (normalized MSE) per epoch.
+    pub epoch_loss: Vec<f32>,
+}
+
+impl TrainLog {
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_loss.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// The restructure-tolerant timing predictor (Fig. 2).
+#[derive(Clone, Debug)]
+pub struct TimingModel {
+    config: ModelConfig,
+    store: ParamStore,
+    gnn: Option<NetlistGnn>,
+    cnn: Option<(LayoutCnn, Linear)>,
+    regressor: Mlp,
+    target_mean: f32,
+    target_std: f32,
+    rng: StdRng,
+}
+
+impl TimingModel {
+    /// Builds a model with freshly initialized weights.
+    pub fn new(config: ModelConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let gnn = (config.variant != ModelVariant::CnnOnly)
+            .then(|| NetlistGnn::new(&mut store, &mut rng, &config));
+        let cnn = (config.variant != ModelVariant::GnnOnly).then(|| {
+            let trunk = LayoutCnn::new(&mut store, &mut rng, &config);
+            let mg = config.pooled_grid();
+            let fc = Linear::new(&mut store, &mut rng, mg * mg, config.embed_dim);
+            (trunk, fc)
+        });
+        let regressor = Mlp::new(
+            &mut store,
+            &mut rng,
+            &[config.fused_dim(), config.regressor_hidden, config.regressor_hidden, 1],
+        );
+        Self {
+            config,
+            store,
+            gnn,
+            cnn,
+            regressor,
+            target_mean: 0.0,
+            target_std: 1.0,
+            rng,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Total scalar weight count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// One forward pass over a design for the endpoint rows in `batch`
+    /// (`None` = all endpoints); returns normalized predictions
+    /// `[rows, 1]`.
+    ///
+    /// The GNN necessarily computes every node (messages flow through the
+    /// whole DAG), but the layout branch and regressor run only on the
+    /// requested rows — this is what keeps masked-layout training cheap and
+    /// paper-scale masks out of memory (they are densified per batch).
+    fn forward<'t>(&self, tape: &'t Tape, design: &PreparedDesign, batch: Option<&[u32]>) -> Var<'t> {
+        let all: Vec<u32>;
+        let indices: &[u32] = match batch {
+            Some(b) => b,
+            None => {
+                all = (0..design.num_endpoints() as u32).collect();
+                &all
+            }
+        };
+        let netlist_emb = self.gnn.as_ref().map(|gnn| {
+            let emb = gnn.forward(
+                tape,
+                &self.store,
+                &design.schedule,
+                &design.feats,
+                self.config.aggregation,
+            );
+            let rows = tape.gather_rows(emb, indices);
+            if self.config.residual {
+                // Residual embeddings accumulate over up to hundreds of
+                // levels; rescale into an O(1) regime for the regressor.
+                rows.scale(crate::READOUT_SCALE)
+            } else {
+                rows
+            }
+        });
+        let layout_emb = self.cnn.as_ref().map(|(trunk, fc)| {
+            let maps = tape.constant(design.maps.clone());
+            let global_map = trunk.forward(tape, &self.store, maps);
+            let masks = if self.config.masking {
+                tape.constant(design.dense_mask_rows(indices))
+            } else {
+                // Ablation A2: every endpoint sees the full layout map.
+                let cols = design.mask_grid * design.mask_grid;
+                tape.constant(Tensor::full(&[indices.len().max(1), cols], 1.0))
+            };
+            let masked = masks.mul_row(global_map);
+            fc.forward(tape, &self.store, masked)
+        });
+        let fused = match (netlist_emb, layout_emb) {
+            (Some(n), Some(l)) => tape.concat_cols(n, l),
+            (Some(n), None) => n,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("at least one branch is active"),
+        };
+        self.regressor.forward(tape, &self.store, fused)
+    }
+
+    /// Forward target transform: optional log space (see
+    /// [`ModelConfig::log_space`]).
+    fn encode_target(&self, t: f32) -> f32 {
+        if self.config.log_space {
+            (1.0 + t.max(0.0)).ln()
+        } else {
+            t
+        }
+    }
+
+    /// Inverse of [`Self::encode_target`].
+    fn decode_target(&self, t: f32) -> f32 {
+        if self.config.log_space {
+            t.exp() - 1.0
+        } else {
+            t
+        }
+    }
+
+    /// Trains on the given designs with MSE on (encoded, standardized)
+    /// arrival times; the de-normalization is stored in the model.
+    pub fn train(&mut self, designs: &[PreparedDesign], tc: &TrainConfig) -> TrainLog {
+        assert!(!designs.is_empty(), "training needs at least one design");
+        let all: Vec<f32> = designs
+            .iter()
+            .flat_map(|d| d.targets.iter().map(|&t| self.encode_target(t)))
+            .collect();
+        let n = all.len() as f32;
+        self.target_mean = all.iter().sum::<f32>() / n;
+        let var = all.iter().map(|t| (t - self.target_mean).powi(2)).sum::<f32>() / n;
+        self.target_std = var.sqrt().max(1e-6);
+
+        // Per-design loss weights ∝ 1/variance: designs span a wide range
+        // of arrival magnitudes, and an unweighted standardized MSE lets
+        // the large designs drown out the small ones (destroying their
+        // per-design R², the paper's metric). Weighting by inverse target
+        // variance makes each design's term ≈ its (1 − R²).
+        let global_var = self.target_std * self.target_std;
+        let weights: Vec<f32> = designs
+            .iter()
+            .map(|d| {
+                let enc: Vec<f32> = d.targets.iter().map(|&t| self.encode_target(t)).collect();
+                let m = enc.iter().sum::<f32>() / enc.len().max(1) as f32;
+                let v = enc.iter().map(|t| (t - m).powi(2)).sum::<f32>()
+                    / enc.len().max(1) as f32;
+                (global_var / v.max(1e-9)).clamp(0.05, 50.0)
+            })
+            .collect();
+
+        let mut adam = Adam::new(tc.lr);
+        let mut log = TrainLog::default();
+        let mut order: Vec<usize> = (0..designs.len()).collect();
+
+        for epoch in 0..tc.epochs {
+            order.shuffle(&mut self.rng);
+            let mut epoch_loss = 0.0;
+            for &di in &order {
+                let design = &designs[di];
+                let n_ep = design.num_endpoints();
+                let tape = Tape::new();
+                let idx: Vec<u32> = if n_ep > tc.batch_endpoints {
+                    sample_indices(&mut self.rng, n_ep, tc.batch_endpoints)
+                } else {
+                    (0..n_ep as u32).collect()
+                };
+                let pred_b = self.forward(&tape, design, Some(&idx));
+                let data: Vec<f32> = idx
+                    .iter()
+                    .map(|&i| {
+                        (self.encode_target(design.targets[i as usize]) - self.target_mean)
+                            / self.target_std
+                    })
+                    .collect();
+                let target_b = tape.constant(Tensor::from_vec(&[idx.len(), 1], data));
+                let loss = mse(&tape, pred_b, target_b).scale(weights[di]);
+                epoch_loss += tape.value(loss).data()[0];
+                let grads = tape.backward(loss);
+                adam.step(&mut self.store, &grads);
+            }
+            epoch_loss /= designs.len() as f32;
+            log.epoch_loss.push(epoch_loss);
+            if tc.log_every > 0 && (epoch + 1) % tc.log_every == 0 {
+                eprintln!("epoch {:>4}: loss {epoch_loss:.5}", epoch + 1);
+            }
+        }
+        log
+    }
+
+    /// Predicts endpoint arrival times (ps) for a prepared design.
+    ///
+    /// Endpoints are processed in chunks so that even paper-scale designs
+    /// (hundreds of thousands of endpoints, 128×128 pooled masks) never
+    /// materialize the full dense mask matrix.
+    pub fn predict(&self, design: &PreparedDesign) -> Vec<f32> {
+        const CHUNK: usize = 8192;
+        let n = design.num_endpoints();
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + CHUNK).min(n);
+            let idx: Vec<u32> = (start as u32..end as u32).collect();
+            let tape = Tape::new();
+            let pred = self.forward(&tape, design, Some(&idx));
+            out.extend(
+                tape.value(pred)
+                    .data()
+                    .iter()
+                    .map(|p| self.decode_target(p * self.target_std + self.target_mean)),
+            );
+            start = end;
+        }
+        out
+    }
+
+    /// Serializes the weights (plus the target normalization) to bytes.
+    pub fn save_weights(&self) -> Vec<u8> {
+        let mut out = self.target_mean.to_le_bytes().to_vec();
+        out.extend_from_slice(&self.target_std.to_le_bytes());
+        out.extend_from_slice(&self.store.to_bytes());
+        out
+    }
+
+    /// Restores weights saved by [`Self::save_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the blob does not match this architecture.
+    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.len() < 8 {
+            return Err("weight blob too short".to_owned());
+        }
+        self.target_mean = f32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        self.target_std = f32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        self.store.load_bytes(&bytes[8..])
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (partial Fisher–Yates).
+fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k.min(n) {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k.min(n));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_circgen::GenParams;
+    use rtt_netlist::{CellLibrary, TimingGraph};
+    use rtt_place::{place, PlaceConfig};
+    use rtt_route::{route, RouteConfig};
+    use rtt_sta::{run_sta, WireModel};
+
+    fn prepared(cells: usize, seed: u64, cfg: &ModelConfig) -> PreparedDesign {
+        let lib = CellLibrary::asap7_like();
+        let d = GenParams::new(format!("m{seed}"), cells, seed).generate(&lib);
+        let pl = place(&d.netlist, &lib, 0, &PlaceConfig::default());
+        let rt = route(&d.netlist, &lib, &pl, &RouteConfig::default());
+        let graph = TimingGraph::build(&d.netlist, &lib);
+        let sta = run_sta(&d.netlist, &lib, &graph, WireModel::Routed(&rt), 500.0);
+        let targets = sta.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
+        PreparedDesign::prepare(&d.netlist, &lib, &pl, &graph, cfg, targets)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let cfg = ModelConfig::tiny();
+        let prep = prepared(120, 1, &cfg);
+        let mut model = TimingModel::new(cfg);
+        let log = model.train(
+            &[prep],
+            &TrainConfig { epochs: 30, lr: 3e-3, ..TrainConfig::default() },
+        );
+        let first = log.epoch_loss[0];
+        let last = log.final_loss();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn model_learns_real_sta_targets() {
+        // The model should fit one design's real arrivals to high accuracy
+        // (memorization sanity check that gradients are correct end-to-end).
+        let cfg = ModelConfig::tiny();
+        let prep = prepared(150, 2, &cfg);
+        let mut model = TimingModel::new(cfg);
+        model.train(
+            &[prep.clone()],
+            &TrainConfig { epochs: 120, lr: 3e-3, ..TrainConfig::default() },
+        );
+        let pred = model.predict(&prep);
+        let mean = prep.targets.iter().sum::<f32>() / prep.targets.len() as f32;
+        let ss_tot: f32 = prep.targets.iter().map(|t| (t - mean).powi(2)).sum();
+        let ss_res: f32 = pred
+            .iter()
+            .zip(&prep.targets)
+            .map(|(p, t)| (p - t).powi(2))
+            .sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.7, "train-set R² only {r2}");
+    }
+
+    #[test]
+    fn variants_have_expected_parameter_relationship() {
+        let full = TimingModel::new(ModelConfig::tiny());
+        let gnn = TimingModel::new(ModelConfig::tiny().with_variant(ModelVariant::GnnOnly));
+        let cnn = TimingModel::new(ModelConfig::tiny().with_variant(ModelVariant::CnnOnly));
+        assert!(gnn.num_parameters() < full.num_parameters());
+        assert!(cnn.num_parameters() < full.num_parameters());
+    }
+
+    #[test]
+    fn predictions_have_one_value_per_endpoint() {
+        let cfg = ModelConfig::tiny();
+        let prep = prepared(80, 3, &cfg);
+        let model = TimingModel::new(cfg);
+        assert_eq!(model.predict(&prep).len(), prep.num_endpoints());
+    }
+
+    #[test]
+    fn weight_roundtrip_preserves_predictions() {
+        let cfg = ModelConfig::tiny();
+        let prep = prepared(80, 4, &cfg);
+        let mut model = TimingModel::new(cfg.clone());
+        model.train(&[prep.clone()], &TrainConfig { epochs: 3, ..TrainConfig::default() });
+        let before = model.predict(&prep);
+        let blob = model.save_weights();
+        let mut fresh = TimingModel::new(cfg);
+        fresh.load_weights(&blob).unwrap();
+        assert_eq!(fresh.predict(&prep), before);
+    }
+
+    #[test]
+    fn load_rejects_other_architecture() {
+        let mut a = TimingModel::new(ModelConfig::tiny());
+        let b = TimingModel::new(ModelConfig::tiny().with_variant(ModelVariant::CnnOnly));
+        assert!(a.load_weights(&b.save_weights()).is_err());
+    }
+
+    #[test]
+    fn masking_changes_predictions() {
+        let cfg = ModelConfig::tiny();
+        let prep = prepared(100, 5, &cfg);
+        let masked = TimingModel::new(cfg.clone());
+        let unmasked = TimingModel::new(ModelConfig { masking: false, ..cfg });
+        assert_ne!(masked.predict(&prep), unmasked.predict(&prep));
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let idx = sample_indices(&mut rng, 50, 20);
+        assert_eq!(idx.len(), 20);
+        let set: std::collections::HashSet<u32> = idx.iter().copied().collect();
+        assert_eq!(set.len(), 20);
+        assert!(idx.iter().all(|&i| i < 50));
+        // k >= n returns everything.
+        assert_eq!(sample_indices(&mut rng, 5, 10).len(), 5);
+    }
+}

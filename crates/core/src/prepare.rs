@@ -1,0 +1,151 @@
+//! Per-design preprocessing: everything the model needs, computed once.
+
+use rtt_features::{endpoint_masks, LayoutMaps, NodeFeatures};
+use rtt_netlist::{CellLibrary, Netlist, TimingGraph};
+use rtt_nn::Tensor;
+use rtt_place::Placement;
+
+use crate::gnn::{GnnSchedule, LevelFeats};
+use crate::ModelConfig;
+
+/// A design converted into model inputs: GNN schedule and features, stacked
+/// layout maps, endpoint masks, and (optionally meaningful) targets.
+///
+/// This corresponds to the paper's *preprocessing* stage of Table III:
+/// graph construction, topological levels, and endpoint-wise critical
+/// region generation.
+///
+/// Masks are stored sparsely (set-bin indices per endpoint): a dense
+/// `[num_endpoints, (G/4)²]` matrix would need gigabytes at the paper's
+/// 512×512 grid on endpoint-heavy designs. Dense rows are materialized per
+/// batch via [`Self::dense_mask_rows`].
+#[derive(Clone, Debug)]
+pub struct PreparedDesign {
+    /// Design name (for reporting).
+    pub name: String,
+    /// Levelized propagation plan.
+    pub schedule: GnnSchedule,
+    /// Per-level node feature matrices.
+    pub feats: LevelFeats,
+    /// Stacked `[3, G, G]` layout maps (density, RUDY, macro).
+    pub maps: Tensor,
+    /// Set bins of each endpoint's critical-region mask, at pooled
+    /// resolution (row-major indices into the `(G/4)²` map).
+    pub masks: Vec<Vec<u32>>,
+    /// Pooled mask width (`G/4`).
+    pub mask_grid: usize,
+    /// Ground-truth endpoint arrival times, aligned with
+    /// `graph.endpoints()` order (ps).
+    pub targets: Vec<f32>,
+}
+
+impl PreparedDesign {
+    /// Prepares a design for training or inference.
+    ///
+    /// `targets` must be aligned with `graph.endpoints()`; pass zeros for
+    /// pure inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the endpoint count.
+    pub fn prepare(
+        netlist: &Netlist,
+        library: &CellLibrary,
+        placement: &Placement,
+        graph: &TimingGraph,
+        config: &ModelConfig,
+        targets: Vec<f32>,
+    ) -> Self {
+        assert_eq!(
+            targets.len(),
+            graph.endpoints().len(),
+            "one target per endpoint"
+        );
+        let schedule = GnnSchedule::build(graph);
+        let features = NodeFeatures::extract(netlist, library, graph, placement);
+        let feats = LevelFeats::assemble(&schedule, &features);
+
+        let layout = LayoutMaps::extract(netlist, library, placement, config.grid);
+        let maps = Tensor::from_vec(&[3, config.grid, config.grid], layout.stacked());
+
+        let mg = config.pooled_grid();
+        let mask_data = endpoint_masks(netlist, placement, graph, mg);
+        let masks = mask_data
+            .chunks_exact(mg * mg)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v > 0.0)
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
+
+        Self { name: netlist.name.clone(), schedule, feats, maps, masks, mask_grid: mg, targets }
+    }
+
+    /// Number of endpoints (prediction rows).
+    pub fn num_endpoints(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Materializes dense 0/1 mask rows for the given endpoint indices
+    /// (`[indices.len(), (G/4)²]`, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn dense_mask_rows(&self, indices: &[u32]) -> Tensor {
+        let cols = self.mask_grid * self.mask_grid;
+        let mut data = vec![0.0f32; indices.len().max(1) * cols];
+        for (r, &ep) in indices.iter().enumerate() {
+            for &bin in &self.masks[ep as usize] {
+                data[r * cols + bin as usize] = 1.0;
+            }
+        }
+        Tensor::from_vec(&[indices.len().max(1), cols], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_circgen::ripple_carry_adder;
+    use rtt_place::{place, PlaceConfig};
+
+    #[test]
+    fn prepared_shapes_are_consistent() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(4, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let graph = TimingGraph::build(&nl, &lib);
+        let cfg = ModelConfig::tiny();
+        let n_ep = graph.endpoints().len();
+        let prep =
+            PreparedDesign::prepare(&nl, &lib, &pl, &graph, &cfg, vec![1.0; n_ep]);
+        assert_eq!(prep.num_endpoints(), n_ep);
+        assert_eq!(prep.maps.shape(), &[3, cfg.grid, cfg.grid]);
+        assert_eq!(prep.masks.len(), n_ep);
+        assert_eq!(prep.mask_grid, cfg.pooled_grid());
+        // Dense materialization matches the sparse storage.
+        let idx: Vec<u32> = (0..n_ep as u32).collect();
+        let dense = prep.dense_mask_rows(&idx);
+        assert_eq!(dense.shape(), &[n_ep, cfg.pooled_grid() * cfg.pooled_grid()]);
+        for (r, bins) in prep.masks.iter().enumerate() {
+            let ones = dense.row(r).iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(ones, bins.len());
+        }
+        assert_eq!(prep.schedule.num_endpoints(), n_ep);
+        assert_eq!(prep.name, nl.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per endpoint")]
+    fn target_count_is_checked() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(2, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let graph = TimingGraph::build(&nl, &lib);
+        let _ = PreparedDesign::prepare(&nl, &lib, &pl, &graph, &ModelConfig::tiny(), vec![]);
+    }
+}

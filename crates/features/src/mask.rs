@@ -1,0 +1,196 @@
+//! Longest-path search and endpoint-wise critical-region masks
+//! (paper Section V-B, Equations 4–6).
+
+use rtt_netlist::{EdgeKind, Netlist, TimingGraph};
+use rtt_place::{Grid, Placement, Rect};
+
+/// Finds (one of) the longest path(s) from the sources to endpoint node
+/// `ep` using the paper's level-descent rule: from a node at topological
+/// level `l`, step to any fanin at level `l - 1` (such a fanin always
+/// exists on a longest path because levels are longest distances).
+///
+/// Returns node ids ordered source → endpoint. Deterministic: the first
+/// qualifying fanin is taken.
+pub fn longest_path(graph: &TimingGraph, ep: u32) -> Vec<u32> {
+    let mut path = vec![ep];
+    let mut v = ep;
+    while graph.level(v) > 0 {
+        let want = graph.level(v) - 1;
+        let pred = graph
+            .fanin(v)
+            .find(|e| graph.level(e.from) == want)
+            .map(|e| e.from)
+            .expect("a node at level l has a fanin at level l-1");
+        path.push(pred);
+        v = pred;
+    }
+    path.reverse();
+    path
+}
+
+/// Builds the critical-region mask of one endpoint at `grid × grid`
+/// resolution: bins overlapping the union of the bounding boxes of the
+/// *net edges* along the endpoint's longest path are 1, others 0.
+pub fn endpoint_mask(
+    netlist: &Netlist,
+    placement: &Placement,
+    graph: &TimingGraph,
+    path: &[u32],
+    grid: usize,
+) -> Grid {
+    let mut mask = Grid::new(grid, grid, placement.floorplan().die);
+    for pair in path.windows(2) {
+        let (u, v) = (pair[0], pair[1]);
+        // Only net edges count: cell-internal regions are not usable by the
+        // optimizer (paper Section V-B).
+        let is_net = graph
+            .fanin(v)
+            .any(|e| e.from == u && e.kind == EdgeKind::Net);
+        if !is_net {
+            continue;
+        }
+        let a = placement.pin_position(netlist, graph.pin_of(u));
+        let b = placement.pin_position(netlist, graph.pin_of(v));
+        mark_bins(&mut mask, Rect::bounding(a, b));
+    }
+    mask
+}
+
+/// Marks every bin overlapping `r` with 1.
+fn mark_bins(mask: &mut Grid, r: Rect) {
+    let (x0, y0) = mask.bin_of(r.x0, r.y0);
+    let (x1, y1) = mask.bin_of(r.x1, r.y1);
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            mask.set(x, y, 1.0);
+        }
+    }
+}
+
+/// Computes the masks of every endpoint as rows of a `[num_endpoints,
+/// grid²]` row-major buffer (the batched form the model consumes).
+///
+/// Masks are independent per endpoint, exactly as the paper notes the
+/// path-finding can run in parallel.
+pub fn endpoint_masks(
+    netlist: &Netlist,
+    placement: &Placement,
+    graph: &TimingGraph,
+    grid: usize,
+) -> Vec<f32> {
+    let eps = graph.endpoints();
+    let mut out = vec![0.0f32; eps.len() * grid * grid];
+    for (i, &ep) in eps.iter().enumerate() {
+        let path = longest_path(graph, ep);
+        let mask = endpoint_mask(netlist, placement, graph, &path, grid);
+        out[i * grid * grid..(i + 1) * grid * grid].copy_from_slice(mask.values());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_circgen::{ripple_carry_adder, GenParams};
+    use rtt_netlist::CellLibrary;
+    use rtt_place::{place, PlaceConfig};
+
+    fn world() -> (CellLibrary, Netlist, Placement, TimingGraph) {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(6, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let g = TimingGraph::build(&nl, &lib);
+        (lib, nl, pl, g)
+    }
+
+    #[test]
+    fn longest_path_descends_one_level_per_step() {
+        let (_, _, _, g) = world();
+        for &ep in g.endpoints() {
+            let path = longest_path(&g, ep);
+            assert_eq!(path.len() as u32, g.level(ep) + 1);
+            for (i, &v) in path.iter().enumerate() {
+                assert_eq!(g.level(v), i as u32);
+            }
+            assert_eq!(*path.last().unwrap(), ep);
+            assert_eq!(g.fanin(path[0]).count(), 0, "path starts at a source");
+        }
+    }
+
+    #[test]
+    fn longest_path_edges_exist() {
+        let (_, _, _, g) = world();
+        let ep = g.endpoints()[g.endpoints().len() - 1];
+        let path = longest_path(&g, ep);
+        for w in path.windows(2) {
+            assert!(
+                g.fanin(w[1]).any(|e| e.from == w[0]),
+                "consecutive path nodes must be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_is_binary_and_nonempty_for_deep_endpoints() {
+        let (_, nl, pl, g) = world();
+        let ep = *g
+            .endpoints()
+            .iter()
+            .max_by_key(|&&e| g.level(e))
+            .unwrap();
+        let path = longest_path(&g, ep);
+        let mask = endpoint_mask(&nl, &pl, &g, &path, 16);
+        assert!(mask.values().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(mask.total() > 0.0, "deep endpoint must have a critical region");
+    }
+
+    #[test]
+    fn mask_covers_path_pin_bins() {
+        let (_, nl, pl, g) = world();
+        let ep = *g.endpoints().iter().max_by_key(|&&e| g.level(e)).unwrap();
+        let path = longest_path(&g, ep);
+        let mask = endpoint_mask(&nl, &pl, &g, &path, 16);
+        // Every pin on a net edge of the path must sit in a marked bin.
+        for pair in path.windows(2) {
+            let is_net = g.fanin(pair[1]).any(|e| e.from == pair[0] && e.kind == EdgeKind::Net);
+            if !is_net {
+                continue;
+            }
+            for &v in pair {
+                let p = pl.pin_position(&nl, g.pin_of(v));
+                let (bx, by) = mask.bin_of(p.x, p.y);
+                assert_eq!(mask.at(bx, by), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_masks_match_individual() {
+        let (_, nl, pl, g) = world();
+        let grid = 8;
+        let all = endpoint_masks(&nl, &pl, &g, grid);
+        assert_eq!(all.len(), g.endpoints().len() * grid * grid);
+        for (i, &ep) in g.endpoints().iter().enumerate() {
+            let path = longest_path(&g, ep);
+            let single = endpoint_mask(&nl, &pl, &g, &path, grid);
+            assert_eq!(&all[i * grid * grid..(i + 1) * grid * grid], single.values());
+        }
+    }
+
+    #[test]
+    fn different_endpoints_get_different_masks() {
+        let lib = CellLibrary::asap7_like();
+        let d = GenParams::new("dm", 300, 11).generate(&lib);
+        let pl = place(&d.netlist, &lib, 0, &PlaceConfig::default());
+        let g = TimingGraph::build(&d.netlist, &lib);
+        let grid = 12;
+        let masks = endpoint_masks(&d.netlist, &pl, &g, grid);
+        let n = g.endpoints().len();
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..n {
+            let row = &masks[i * grid * grid..(i + 1) * grid * grid];
+            distinct.insert(row.iter().map(|&v| v as u8).collect::<Vec<_>>());
+        }
+        assert!(distinct.len() > n / 4, "masks are suspiciously uniform");
+    }
+}

@@ -1,0 +1,135 @@
+//! Everything the experiments need about one design.
+
+use std::collections::HashMap;
+
+use rtt_baselines::BaselineInputs;
+use rtt_core::{ModelConfig, PreparedDesign};
+use rtt_netlist::{CellLibrary, Netlist, PinId, TimingGraph};
+use rtt_opt::{NetlistDiff, OptReport};
+use rtt_place::Placement;
+use rtt_sta::StaReport;
+
+/// Wall-clock seconds of each flow stage (Table III's "commercial" side).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowTimings {
+    /// Timing-optimization time.
+    pub opt_s: f64,
+    /// Routing time (sign-off flow).
+    pub route_s: f64,
+    /// Sign-off STA time.
+    pub sta_s: f64,
+}
+
+impl FlowTimings {
+    /// Total flow time the model competes against.
+    pub fn total_s(&self) -> f64 {
+        self.opt_s + self.route_s + self.sta_s
+    }
+}
+
+/// One design after both flows (with and without timing optimization).
+#[derive(Clone, Debug)]
+pub struct DesignData {
+    /// Design name.
+    pub name: String,
+    /// Pre-optimization netlist — the model's input.
+    pub input_netlist: Netlist,
+    /// Pre-optimization placement — the model's input.
+    pub input_placement: Placement,
+    /// Timing graph of the input netlist.
+    pub input_graph: TimingGraph,
+    /// Netlist after timing optimization.
+    pub opt_netlist: Netlist,
+    /// Placement after timing optimization (inserted gates legalized).
+    pub opt_placement: Placement,
+    /// Structural diff input → optimized (Table I replacement stats).
+    pub diff: NetlistDiff,
+    /// What the optimizer did.
+    pub opt_report: OptReport,
+    /// Sign-off STA of the *optimized* design (labels).
+    pub signoff: StaReport,
+    /// Sign-off STA of the flow *without* optimization (Table I reference).
+    pub no_opt: StaReport,
+    /// Clock period used by both flows, ps.
+    pub clock_period_ps: f32,
+    /// Stage timings of the with-optimization flow.
+    pub timings: FlowTimings,
+}
+
+impl DesignData {
+    /// Ground-truth endpoint arrival times aligned with
+    /// `input_graph.endpoints()` — the paper's prediction target.
+    /// (Endpoints are never replaced, so every lookup succeeds.)
+    pub fn endpoint_targets(&self) -> Vec<f32> {
+        self.input_graph
+            .endpoints()
+            .iter()
+            .map(|&v| {
+                let pin = self.input_graph.pin_of(v);
+                self.signoff.arrival(pin).expect("endpoints survive optimization")
+            })
+            .collect()
+    }
+
+    /// Sign-off net-edge delays restricted to surviving input edges.
+    pub fn surviving_net_delays(&self) -> HashMap<(PinId, PinId), f32> {
+        self.diff
+            .surviving_net_edges()
+            .iter()
+            .filter_map(|&(d, s)| self.signoff.net_edge_delay(d, s).map(|v| ((d, s), v)))
+            .collect()
+    }
+
+    /// Sign-off cell-edge delays restricted to surviving input cells.
+    pub fn surviving_cell_delays(&self) -> HashMap<(PinId, PinId), f32> {
+        self.diff
+            .surviving_cell_edges()
+            .iter()
+            .filter_map(|&(i, o)| self.signoff.cell_edge_delay(i, o).map(|v| ((i, o), v)))
+            .collect()
+    }
+
+    /// Sign-off arrivals at pins that survive optimization.
+    pub fn surviving_arrivals(&self) -> HashMap<PinId, f32> {
+        self.input_netlist
+            .pins()
+            .filter(|(pid, _)| self.opt_netlist.pin(*pid).is_alive())
+            .filter_map(|(pid, _)| self.signoff.arrival(pid).map(|a| (pid, a)))
+            .collect()
+    }
+
+    /// Prepares this design for the paper's model.
+    pub fn prepared(&self, library: &CellLibrary, config: &ModelConfig) -> PreparedDesign {
+        PreparedDesign::prepare(
+            &self.input_netlist,
+            library,
+            &self.input_placement,
+            &self.input_graph,
+            config,
+            self.endpoint_targets(),
+        )
+    }
+
+    /// Assembles the baseline-facing view. The label maps must outlive the
+    /// returned struct, so the caller owns them.
+    pub fn baseline_inputs<'a>(
+        &'a self,
+        library: &'a CellLibrary,
+        net_delays: &'a HashMap<(PinId, PinId), f32>,
+        cell_delays: &'a HashMap<(PinId, PinId), f32>,
+        arrivals: &'a HashMap<PinId, f32>,
+        endpoint_targets: &'a [f32],
+    ) -> BaselineInputs<'a> {
+        BaselineInputs {
+            name: &self.name,
+            netlist: &self.input_netlist,
+            library,
+            placement: &self.input_placement,
+            graph: &self.input_graph,
+            signoff_net_delays: net_delays,
+            signoff_cell_delays: cell_delays,
+            signoff_arrivals: arrivals,
+            endpoint_targets,
+        }
+    }
+}

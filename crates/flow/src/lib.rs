@@ -1,0 +1,29 @@
+//! End-to-end data generation and experiment orchestration.
+//!
+//! This crate reproduces the paper's dataset-generation flow (Section VI-A)
+//! on the simulated substrates: synthesize (generate) → place → two
+//! parallel flows — **without** timing optimization (route + STA) and
+//! **with** it (optimize + route + STA, the sign-off labels) — then diff
+//! the netlists for the replacement statistics.
+//!
+//! On top of the [`Dataset`] it implements the paper's experiments:
+//!
+//! * [`table1`](tables::table1) — dataset statistics and optimization
+//!   impact (Table I);
+//! * [`table2`](tables::table2) — R² comparison of the three baselines and
+//!   the three model variants (Table II);
+//! * [`table3`](tables::table3) — runtime and speedup vs the full
+//!   "commercial" flow (Table III);
+//! * [`ablation`](tables::ablation) — design-choice ablations (max vs mean
+//!   aggregation, masked vs unmasked layout).
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod design_data;
+mod metrics;
+pub mod tables;
+
+pub use dataset::{run_design_flow, Dataset, FlowConfig};
+pub use design_data::{DesignData, FlowTimings};
+pub use metrics::{mae, r2_score};

@@ -1,0 +1,92 @@
+//! Evaluation metrics.
+
+/// Coefficient of determination `R² = 1 - SS_res / SS_tot` — the paper's
+/// evaluation metric for all regression results.
+///
+/// Returns 1.0 for a perfect fit; can be arbitrarily negative for a model
+/// worse than predicting the mean. Returns `f32::NAN` for fewer than two
+/// samples or zero target variance.
+pub fn r2_score(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "r2 needs aligned slices");
+    if truth.len() < 2 {
+        return f32::NAN;
+    }
+    let mean = truth.iter().sum::<f32>() / truth.len() as f32;
+    let ss_tot: f32 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot <= f32::MIN_POSITIVE {
+        return f32::NAN;
+    }
+    let ss_res: f32 = pred.iter().zip(truth).map(|(p, t)| (p - t).powi(2)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "mae needs aligned slices");
+    if pred.is_empty() {
+        return f32::NAN;
+    }
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f32>() / pred.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_fit_is_one() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!((r2_score(&pred, &truth)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_fit_is_negative() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 99.0];
+        assert!(r2_score(&pred, &truth) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(r2_score(&[1.0], &[1.0]).is_nan());
+        assert!(r2_score(&[1.0, 2.0], &[5.0, 5.0]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_lengths_panic() {
+        let _ = r2_score(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn r2_is_at_most_one(
+            truth in proptest::collection::vec(-100.0f32..100.0, 3..30),
+            noise in proptest::collection::vec(-10.0f32..10.0, 3..30),
+        ) {
+            let n = truth.len().min(noise.len());
+            let pred: Vec<f32> = truth[..n].iter().zip(&noise[..n]).map(|(t, e)| t + e).collect();
+            let r = r2_score(&pred, &truth[..n]);
+            prop_assert!(r.is_nan() || r <= 1.0 + 1e-5);
+        }
+
+        #[test]
+        fn mae_is_translation_invariant(
+            truth in proptest::collection::vec(-50.0f32..50.0, 2..20),
+            shift in -5.0f32..5.0,
+        ) {
+            let pred: Vec<f32> = truth.iter().map(|t| t + shift).collect();
+            prop_assert!((mae(&pred, &truth) - shift.abs()).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Pin-level heterogeneous timing graph.
+//!
+//! Following the paper's data representation (Section IV-A), every pin is a
+//! node and there are two directed edge types:
+//!
+//! * **net edges** — from a net's drive pin to each of its sink pins;
+//! * **cell edges** — from each input pin of a *combinational* cell to its
+//!   output pin. Cell edges of sequential elements are removed, which makes
+//!   the graph a DAG.
+//!
+//! The graph also computes **topological levels** (the dotted boxes of the
+//! paper's Fig. 3), which are shared by the STA engine, the customized GNN's
+//! levelized message passing, and the longest-path search behind the
+//! endpoint-wise critical-region mask.
+
+use crate::{CellId, CellLibrary, NetId, Netlist, NetlistError, PinId, PinDir, PortKind};
+
+/// Kind of a timing edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeKind {
+    /// Drive pin → sink pin of one net.
+    Net,
+    /// Input pin → output pin of one combinational cell.
+    Cell,
+}
+
+/// Classification of a graph node, after the sequential cut.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// No fanin: primary inputs, flip-flop outputs, unconnected pins.
+    Source,
+    /// Output pin of a combinational cell (target of cell edges).
+    CellOut,
+    /// Sink pin of a net (target of a net edge).
+    NetSink,
+}
+
+/// A directed timing edge between two graph nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingEdge {
+    /// Source node index.
+    pub from: u32,
+    /// Target node index.
+    pub to: u32,
+    /// Net or cell edge.
+    pub kind: EdgeKind,
+    /// Owning cell for cell edges.
+    pub cell: Option<CellId>,
+    /// Owning net for net edges.
+    pub net: Option<NetId>,
+}
+
+/// Immutable pin-level timing DAG derived from a [`Netlist`].
+#[derive(Clone, Debug)]
+pub struct TimingGraph {
+    nodes: Vec<PinId>,
+    node_of_pin: Vec<Option<u32>>,
+    kinds: Vec<NodeKind>,
+    edges: Vec<TimingEdge>,
+    fanin_off: Vec<u32>,
+    fanin: Vec<u32>, // edge indices
+    fanout_off: Vec<u32>,
+    fanout: Vec<u32>, // edge indices
+    level: Vec<u32>,
+    max_level: u32,
+    nodes_by_level: Vec<Vec<u32>>,
+    endpoints: Vec<u32>,
+    startpoints: Vec<u32>,
+}
+
+impl TimingGraph {
+    /// Builds the timing graph for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle; use
+    /// [`Self::try_build`] to handle that case.
+    pub fn build(netlist: &Netlist, library: &CellLibrary) -> Self {
+        Self::try_build(netlist, library).expect("combinational cycle in netlist")
+    }
+
+    /// Builds the timing graph, reporting combinational cycles as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if levelization stalls.
+    pub fn try_build(netlist: &Netlist, library: &CellLibrary) -> Result<Self, NetlistError> {
+        // Node table over live pins.
+        let mut node_of_pin = vec![None; netlist.pin_capacity()];
+        let mut nodes = Vec::with_capacity(netlist.num_pins());
+        for (pid, _) in netlist.pins() {
+            node_of_pin[pid.index()] = Some(nodes.len() as u32);
+            nodes.push(pid);
+        }
+        let n = nodes.len();
+
+        // Edges.
+        let mut edges = Vec::new();
+        for (nid, net) in netlist.nets() {
+            let from = node_of_pin[net.driver.index()].expect("live driver");
+            for &s in &net.sinks {
+                let to = node_of_pin[s.index()].expect("live sink");
+                edges.push(TimingEdge { from, to, kind: EdgeKind::Net, cell: None, net: Some(nid) });
+            }
+        }
+        for (cid, cell) in netlist.cells() {
+            if library.cell_type(cell.type_id).is_sequential() {
+                continue; // sequential cut: no D -> Q arc
+            }
+            let to = node_of_pin[cell.output.index()].expect("live output");
+            for &i in &cell.inputs {
+                let from = node_of_pin[i.index()].expect("live input");
+                edges.push(TimingEdge { from, to, kind: EdgeKind::Cell, cell: Some(cid), net: None });
+            }
+        }
+
+        // CSR adjacency.
+        let (fanin_off, fanin) = csr(n, edges.iter().map(|e| (e.to, e.from)), &edges);
+        let (fanout_off, fanout) = csr(n, edges.iter().map(|e| (e.from, e.to)), &edges);
+
+        // Kahn levelization: level = longest distance from any source.
+        let mut indeg: Vec<u32> = vec![0; n];
+        for e in &edges {
+            indeg[e.to as usize] += 1;
+        }
+        let mut level = vec![0u32; n];
+        let mut queue: Vec<u32> =
+            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut resolved = queue.len();
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            let (s, e) = (fanout_off[v as usize] as usize, fanout_off[v as usize + 1] as usize);
+            for &ei in &fanout[s..e] {
+                let edge = edges[ei as usize];
+                let u = edge.to as usize;
+                level[u] = level[u].max(level[v as usize] + 1);
+                indeg[u] -= 1;
+                if indeg[u] == 0 {
+                    queue.push(u as u32);
+                    resolved += 1;
+                }
+            }
+        }
+        if resolved != n {
+            return Err(NetlistError::CombinationalCycle { unresolved: n - resolved });
+        }
+
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut nodes_by_level = vec![Vec::new(); max_level as usize + 1];
+        for v in 0..n as u32 {
+            nodes_by_level[level[v as usize] as usize].push(v);
+        }
+
+        // Node kinds from fanin edge types.
+        let mut kinds = vec![NodeKind::Source; n];
+        for e in &edges {
+            kinds[e.to as usize] = match e.kind {
+                EdgeKind::Cell => NodeKind::CellOut,
+                EdgeKind::Net => NodeKind::NetSink,
+            };
+        }
+
+        // Endpoints: primary outputs + D pins of sequential cells.
+        // Startpoints: primary inputs + outputs of sequential cells.
+        let mut endpoints = Vec::new();
+        let mut startpoints = Vec::new();
+        for (i, &pid) in nodes.iter().enumerate() {
+            let pin = netlist.pin(pid);
+            match pin.port {
+                Some(PortKind::Output) => endpoints.push(i as u32),
+                Some(PortKind::Input) => startpoints.push(i as u32),
+                None => {
+                    if let Some(cid) = pin.cell {
+                        let cell = netlist.cell(cid);
+                        if library.cell_type(cell.type_id).is_sequential() {
+                            match pin.dir {
+                                PinDir::Sink => endpoints.push(i as u32),
+                                PinDir::Drive => startpoints.push(i as u32),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            nodes,
+            node_of_pin,
+            kinds,
+            edges,
+            fanin_off,
+            fanin,
+            fanout_off,
+            fanout,
+            level,
+            max_level,
+            nodes_by_level,
+            endpoints,
+            startpoints,
+        })
+    }
+
+    /// Number of nodes (live pins).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of net edges.
+    pub fn num_net_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Net).count()
+    }
+
+    /// Number of cell edges.
+    pub fn num_cell_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Cell).count()
+    }
+
+    /// The pin behind node `v`.
+    pub fn pin_of(&self, v: u32) -> PinId {
+        self.nodes[v as usize]
+    }
+
+    /// The node for `pin`, if the pin is live.
+    pub fn node_of(&self, pin: PinId) -> Option<u32> {
+        self.node_of_pin.get(pin.index()).copied().flatten()
+    }
+
+    /// Node classification after the sequential cut.
+    pub fn node_kind(&self, v: u32) -> NodeKind {
+        self.kinds[v as usize]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[TimingEdge] {
+        &self.edges
+    }
+
+    /// Fanin edges of node `v`.
+    pub fn fanin(&self, v: u32) -> impl Iterator<Item = &TimingEdge> {
+        let (s, e) = (self.fanin_off[v as usize] as usize, self.fanin_off[v as usize + 1] as usize);
+        self.fanin[s..e].iter().map(move |&ei| &self.edges[ei as usize])
+    }
+
+    /// Fanout edges of node `v`.
+    pub fn fanout(&self, v: u32) -> impl Iterator<Item = &TimingEdge> {
+        let (s, e) =
+            (self.fanout_off[v as usize] as usize, self.fanout_off[v as usize + 1] as usize);
+        self.fanout[s..e].iter().map(move |&ei| &self.edges[ei as usize])
+    }
+
+    /// Topological level of node `v` (longest edge count from any source).
+    pub fn level(&self, v: u32) -> u32 {
+        self.level[v as usize]
+    }
+
+    /// Maximum topological level.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Nodes at topological level `l`.
+    pub fn nodes_at_level(&self, l: u32) -> &[u32] {
+        &self.nodes_by_level[l as usize]
+    }
+
+    /// Timing endpoints: primary-output ports and flip-flop data pins.
+    pub fn endpoints(&self) -> &[u32] {
+        &self.endpoints
+    }
+
+    /// Timing startpoints: primary-input ports and flip-flop output pins.
+    pub fn startpoints(&self) -> &[u32] {
+        &self.startpoints
+    }
+
+    /// Nodes in topological order (level-major, stable within level).
+    pub fn topo_order(&self) -> impl Iterator<Item = u32> + '_ {
+        self.nodes_by_level.iter().flatten().copied()
+    }
+}
+
+/// Builds a CSR index from `(key_node, _)` pairs aligned with `edges`.
+fn csr<I>(n: usize, keyed: I, edges: &[TimingEdge]) -> (Vec<u32>, Vec<u32>)
+where
+    I: Iterator<Item = (u32, u32)>,
+{
+    let keys: Vec<u32> = keyed.map(|(k, _)| k).collect();
+    let mut off = vec![0u32; n + 1];
+    for &k in &keys {
+        off[k as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut cursor = off.clone();
+    let mut out = vec![0u32; edges.len()];
+    for (ei, &k) in keys.iter().enumerate() {
+        out[cursor[k as usize] as usize] = ei as u32;
+        cursor[k as usize] += 1;
+    }
+    (off, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellLibrary, GateFn, Netlist};
+
+    /// a ──AND2── x ──INV── y(out port);  b is second AND input.
+    fn chain() -> (CellLibrary, Netlist) {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input_port("a");
+        let b = nl.add_input_port("b");
+        let and_t = lib.pick(GateFn::And2, 1).unwrap();
+        let inv_t = lib.pick(GateFn::Inv, 1).unwrap();
+        let (and_c, and_o) = nl.add_cell("u_and", and_t, &lib);
+        let (inv_c, inv_o) = nl.add_cell("u_inv", inv_t, &lib);
+        let ai = nl.cell(and_c).inputs[0];
+        let bi = nl.cell(and_c).inputs[1];
+        let ii = nl.cell(inv_c).inputs[0];
+        nl.connect_net("na", a, &[ai]).unwrap();
+        nl.connect_net("nb", b, &[bi]).unwrap();
+        nl.connect_net("nx", and_o, &[ii]).unwrap();
+        let y = nl.add_output_port("y");
+        nl.connect_net("ny", inv_o, &[y]).unwrap();
+        (lib, nl)
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let (lib, nl) = chain();
+        let g = TimingGraph::build(&nl, &lib);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_net_edges(), 4);
+        assert_eq!(g.num_cell_edges(), 3); // 2 (AND) + 1 (INV)
+        let and_o = nl.cell(
+            nl.cells().find(|(_, c)| c.name == "u_and").unwrap().0
+        ).output;
+        let v = g.node_of(and_o).unwrap();
+        assert_eq!(g.node_kind(v), NodeKind::CellOut);
+    }
+
+    #[test]
+    fn levels_follow_propagation_depth() {
+        let (lib, nl) = chain();
+        let g = TimingGraph::build(&nl, &lib);
+        // port a: 0; and inputs: 1; and out: 2; inv in: 3; inv out: 4; y: 5
+        let y = g.node_of(nl.output_ports()[0]).unwrap();
+        assert_eq!(g.level(y), 5);
+        assert_eq!(g.max_level(), 5);
+        // level monotonicity along every edge
+        for e in g.edges() {
+            assert!(g.level(e.to) > g.level(e.from));
+        }
+        // nodes_by_level partitions the node set
+        let total: usize = (0..=g.max_level()).map(|l| g.nodes_at_level(l).len()).sum();
+        assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    fn endpoints_and_startpoints() {
+        let (lib, mut nl) = chain();
+        // Add a flop fed by y-net driver.
+        let dff_t = lib.pick(GateFn::Dff, 1).unwrap();
+        let (dff_c, dff_o) = nl.add_cell("r0", dff_t, &lib);
+        let d = nl.cell(dff_c).inputs[0];
+        let ny = nl.nets().find(|(_, n)| n.name == "ny").unwrap().0;
+        nl.add_sink(ny, d).unwrap();
+        let z = nl.add_output_port("z");
+        nl.connect_net("nq", dff_o, &[z]).unwrap();
+        let g = TimingGraph::build(&nl, &lib);
+        // endpoints: y, z, dff D pin
+        assert_eq!(g.endpoints().len(), 3);
+        // startpoints: a, b, dff Q pin
+        assert_eq!(g.startpoints().len(), 3);
+        // The D pin must not feed the Q pin (sequential cut).
+        let dv = g.node_of(d).unwrap();
+        assert_eq!(g.fanout(dv).count(), 0);
+        let qv = g.node_of(dff_o).unwrap();
+        assert_eq!(g.fanin(qv).count(), 0);
+        assert_eq!(g.node_kind(qv), NodeKind::Source);
+    }
+
+    #[test]
+    fn fanin_fanout_are_consistent() {
+        let (lib, nl) = chain();
+        let g = TimingGraph::build(&nl, &lib);
+        let mut fanin_total = 0;
+        let mut fanout_total = 0;
+        for v in 0..g.num_nodes() as u32 {
+            fanin_total += g.fanin(v).count();
+            fanout_total += g.fanout(v).count();
+            for e in g.fanin(v) {
+                assert_eq!(e.to, v);
+            }
+            for e in g.fanout(v) {
+                assert_eq!(e.from, v);
+            }
+        }
+        assert_eq!(fanin_total, g.num_edges());
+        assert_eq!(fanout_total, g.num_edges());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (lib, nl) = chain();
+        let g = TimingGraph::build(&nl, &lib);
+        let order: Vec<u32> = g.topo_order().collect();
+        assert_eq!(order.len(), g.num_nodes());
+        let pos: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for e in g.edges() {
+            assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        // Build an artificial combinational loop: two inverters in a ring.
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("ring");
+        let inv_t = lib.pick(GateFn::Inv, 1).unwrap();
+        let (c0, o0) = nl.add_cell("i0", inv_t, &lib);
+        let (c1, o1) = nl.add_cell("i1", inv_t, &lib);
+        let i0 = nl.cell(c0).inputs[0];
+        let i1 = nl.cell(c1).inputs[0];
+        nl.connect_net("f", o0, &[i1]).unwrap();
+        nl.connect_net("b", o1, &[i0]).unwrap();
+        assert!(matches!(
+            TimingGraph::try_build(&nl, &lib),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn node_of_dead_pin_is_none() {
+        let (lib, mut nl) = chain();
+        let ny = nl.nets().find(|(_, n)| n.name == "ny").unwrap().0;
+        let inv = nl.cells().find(|(_, c)| c.name == "u_inv").unwrap().0;
+        let nx = nl.pin(nl.cell(inv).inputs[0]).net.unwrap();
+        let out = nl.cell(inv).output;
+        nl.remove_net(ny).unwrap();
+        nl.remove_net(nx).unwrap();
+        nl.remove_cell(inv).unwrap();
+        let g = TimingGraph::build(&nl, &lib);
+        assert_eq!(g.node_of(out), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Strongly-typed index newtypes for netlist entities.
+//!
+//! All ids are stable for the lifetime of a [`crate::Netlist`]: removing an
+//! entity tombstones it rather than re-indexing, so ids recorded before a
+//! restructuring transform remain valid afterwards. This property is what
+//! lets the flow layer diff an optimized netlist against its pre-optimization
+//! input to compute the paper's Table I replacement statistics.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a pin (a cell terminal or a top-level port).
+    PinId,
+    "p"
+);
+id_type!(
+    /// Identifier of a standard-cell instance.
+    CellId,
+    "c"
+);
+id_type!(
+    /// Identifier of a net (one driver pin, one or more sink pins).
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a cell type (master) in a [`crate::CellLibrary`].
+    CellTypeId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = PinId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(PinId(3).to_string(), "p3");
+        assert_eq!(CellId(7).to_string(), "c7");
+        assert_eq!(NetId(0).to_string(), "n0");
+        assert_eq!(CellTypeId(9).to_string(), "t9");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NetId(1));
+        set.insert(NetId(1));
+        set.insert(NetId(2));
+        assert_eq!(set.len(), 2);
+        assert!(PinId(1) < PinId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = PinId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,47 @@
+//! Gate-level netlist data model for restructure-tolerant timing prediction.
+//!
+//! This crate is the foundation of the workspace: it defines the
+//! [`CellLibrary`] (an ASAP7-flavoured synthetic standard-cell library), the
+//! mutable [`Netlist`] (pins, cells, nets, ports), and the derived
+//! [`TimingGraph`] — the pin-level heterogeneous DAG with *net edges* and
+//! *cell edges* that both the STA engine and the customized GNN of the paper
+//! operate on.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), rtt_netlist::NetlistError> {
+//! use rtt_netlist::{CellLibrary, GateFn, Netlist, TimingGraph};
+//!
+//! let lib = CellLibrary::asap7_like();
+//! let mut nl = Netlist::new("adder_bit");
+//! let a = nl.add_input_port("a");
+//! let b = nl.add_input_port("b");
+//! let xor_t = lib.pick(GateFn::Xor2, 1).expect("library has XOR2_X1");
+//! let (xor, xout) = nl.add_cell("u_xor", xor_t, &lib);
+//! let (i0, i1) = (nl.cell(xor).inputs[0], nl.cell(xor).inputs[1]);
+//! nl.connect_net("na", a, &[i0])?;
+//! nl.connect_net("nb", b, &[i1])?;
+//! let s = nl.add_output_port("s");
+//! nl.connect_net("ns", xout, &[s])?;
+//! let graph = TimingGraph::build(&nl, &lib);
+//! assert_eq!(graph.endpoints().len(), 1); // the output port
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod ids;
+mod library;
+mod netlist;
+mod verilog;
+
+pub use error::NetlistError;
+pub use graph::{EdgeKind, NodeKind, TimingEdge, TimingGraph};
+pub use ids::{CellId, CellTypeId, NetId, PinId};
+pub use library::{CellLibrary, CellType, GateFn, DRIVE_STRENGTHS};
+pub use netlist::{Cell, Net, Netlist, Pin, PinDir, PortKind};
+pub use verilog::{parse_verilog, write_verilog, VerilogError};

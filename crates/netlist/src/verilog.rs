@@ -1,0 +1,563 @@
+//! Structural-Verilog import/export.
+//!
+//! Writes a netlist as a flat gate-level Verilog module (one instance per
+//! cell, named nets) and parses the same subset back. This is the
+//! interchange format a real adopter would use to bring their own designs
+//! into the flow; the emitted text round-trips losslessly through
+//! [`parse_verilog`].
+//!
+//! Supported subset: one `module` with `input`/`output` port declarations,
+//! `wire` declarations, and named-port instantiations of library cells
+//! (`AND2_X1 u0 (.i0(a), .i1(b), .o(w1));`). No buses, behavioural code,
+//! parameters, or escaped identifiers.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{CellLibrary, Netlist, NetlistError, PinId};
+
+/// Errors raised while parsing structural Verilog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerilogError {
+    /// Input ended before the module was complete.
+    UnexpectedEof,
+    /// A token violated the supported grammar.
+    Syntax {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An instance referenced a cell type missing from the library.
+    UnknownCellType(String),
+    /// An instance referenced a pin the cell type does not have.
+    UnknownPin(String, String),
+    /// A net connected illegally (two drivers, etc.).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of file"),
+            Self::Syntax { line, message } => write!(f, "syntax error on line {line}: {message}"),
+            Self::UnknownCellType(t) => write!(f, "unknown cell type `{t}`"),
+            Self::UnknownPin(cell, pin) => write!(f, "cell `{cell}` has no pin `{pin}`"),
+            Self::Netlist(e) => write!(f, "illegal connectivity: {e}"),
+        }
+    }
+}
+
+impl Error for VerilogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for VerilogError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+/// Emits `netlist` as a flat structural-Verilog module.
+///
+/// Nets keep their names; cell input pins are named `i0..iN-1` and the
+/// output pin `o`, matching the data model.
+pub fn write_verilog(netlist: &Netlist, library: &CellLibrary) -> String {
+    let mut out = String::new();
+    let sanitized = |s: &str| s.replace(['/', ' '], "_");
+
+    out.push_str(&format!("module {} (", sanitized(&netlist.name)));
+    let ports: Vec<String> = netlist
+        .input_ports()
+        .iter()
+        .chain(netlist.output_ports())
+        .filter(|&&p| netlist.pin(p).is_alive())
+        .map(|&p| sanitized(&netlist.pin(p).name))
+        .collect();
+    out.push_str(&ports.join(", "));
+    out.push_str(");\n");
+
+    for &p in netlist.input_ports() {
+        if netlist.pin(p).is_alive() {
+            out.push_str(&format!("  input {};\n", sanitized(&netlist.pin(p).name)));
+        }
+    }
+    for &p in netlist.output_ports() {
+        if netlist.pin(p).is_alive() {
+            out.push_str(&format!("  output {};\n", sanitized(&netlist.pin(p).name)));
+        }
+    }
+
+    // Wires: every net not directly a port connection still gets declared;
+    // redundant declarations of port names are avoided.
+    let port_names: std::collections::HashSet<String> = ports.iter().cloned().collect();
+    for (_, net) in netlist.nets() {
+        let n = sanitized(&net.name);
+        if !port_names.contains(&n) {
+            out.push_str(&format!("  wire {n};\n"));
+        }
+    }
+
+    // The connection text of a pin: the net name, or nothing when dangling.
+    let conn = |pin: PinId| -> String {
+        match netlist.pin(pin).net {
+            Some(nid) => net_text(netlist, nid, &port_names, &sanitized),
+            None => String::new(),
+        }
+    };
+
+    // A net can feed several output ports, but only one name can appear in
+    // instance connections; the remaining port aliases become assigns.
+    for (nid, net) in netlist.nets() {
+        let canonical = net_text(netlist, nid, &port_names, &sanitized);
+        for &s in &net.sinks {
+            let pin = netlist.pin(s);
+            if pin.cell.is_none() {
+                let name = sanitized(&pin.name);
+                if name != canonical {
+                    out.push_str(&format!("  assign {name} = {canonical};\n"));
+                }
+            }
+        }
+    }
+
+    for (_, cell) in netlist.cells() {
+        let ty = library.cell_type(cell.type_id);
+        let mut pins: Vec<String> = Vec::with_capacity(cell.inputs.len() + 1);
+        for (k, &i) in cell.inputs.iter().enumerate() {
+            pins.push(format!(".i{k}({})", conn(i)));
+        }
+        pins.push(format!(".o({})", conn(cell.output)));
+        out.push_str(&format!(
+            "  {} {} ({});\n",
+            ty.name,
+            sanitized(&cell.name),
+            pins.join(", ")
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// For nets driven by or sinking into a port, Verilog uses the port name
+/// directly; internal nets use their own name.
+fn net_text(
+    netlist: &Netlist,
+    nid: crate::NetId,
+    port_names: &std::collections::HashSet<String>,
+    sanitized: &impl Fn(&str) -> String,
+) -> String {
+    let net = netlist.net(nid);
+    let n = sanitized(&net.name);
+    if port_names.contains(&n) {
+        return n;
+    }
+    // A net whose driver is an input port, or with an output-port sink,
+    // is aliased to that port name in the netlist text.
+    let driver = netlist.pin(net.driver);
+    if driver.cell.is_none() {
+        return sanitized(&driver.name);
+    }
+    for &s in &net.sinks {
+        let p = netlist.pin(s);
+        if p.cell.is_none() {
+            return sanitized(&p.name);
+        }
+    }
+    n
+}
+
+/// Parses the structural subset produced by [`write_verilog`].
+///
+/// # Errors
+///
+/// Returns a [`VerilogError`] describing the first problem found.
+pub fn parse_verilog(text: &str, library: &CellLibrary) -> Result<Netlist, VerilogError> {
+    // Strip comments, join into a token-friendly form.
+    let mut cleaned = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        cleaned.push_str(line);
+        cleaned.push('\n');
+    }
+
+    let mut parser = Parser { text: &cleaned, pos: 0 };
+    parser.expect_word("module")?;
+    let module_name = parser.identifier()?;
+    parser.expect_char('(')?;
+    // Port list (names repeated in the body; just skip).
+    while parser.peek_char()? != ')' {
+        let _ = parser.identifier()?;
+        if parser.peek_char()? == ',' {
+            parser.expect_char(',')?;
+        }
+    }
+    parser.expect_char(')')?;
+    parser.expect_char(';')?;
+
+    let mut nl = Netlist::new(module_name);
+    // Map from net name -> (driver pin, sink pins).
+    #[derive(Default)]
+    struct NetAcc {
+        driver: Option<PinId>,
+        sinks: Vec<PinId>,
+    }
+    let mut nets: HashMap<String, NetAcc> = HashMap::new();
+    // `assign lhs = rhs;` — lhs (an output port) becomes a sink of rhs.
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut cell_count = 0usize;
+
+    loop {
+        let word = parser.identifier()?;
+        match word.as_str() {
+            "endmodule" => break,
+            "input" => {
+                let name = parser.identifier()?;
+                parser.expect_char(';')?;
+                let p = nl.add_input_port(&name);
+                nets.entry(name).or_default().driver = Some(p);
+            }
+            "output" => {
+                let name = parser.identifier()?;
+                parser.expect_char(';')?;
+                let p = nl.add_output_port(&name);
+                nets.entry(name).or_default().sinks.push(p);
+            }
+            "wire" => {
+                let name = parser.identifier()?;
+                parser.expect_char(';')?;
+                nets.entry(name).or_default();
+            }
+            "assign" => {
+                let lhs = parser.identifier()?;
+                parser.expect_char('=')?;
+                let rhs = parser.identifier()?;
+                parser.expect_char(';')?;
+                aliases.push((lhs, rhs));
+            }
+            type_name => {
+                // Instance: TYPE name ( .pin(net), ... );
+                let type_id = library
+                    .iter()
+                    .find(|(_, t)| t.name == type_name)
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| VerilogError::UnknownCellType(type_name.to_owned()))?;
+                let inst_name = parser.identifier()?;
+                parser.expect_char('(')?;
+                let (cell, out_pin) = nl.add_cell(&inst_name, type_id, library);
+                let _ = cell_count;
+                cell_count += 1;
+                loop {
+                    parser.expect_char('.')?;
+                    let pin_name = parser.identifier()?;
+                    parser.expect_char('(')?;
+                    let net_name =
+                        if parser.peek_char()? == ')' { None } else { Some(parser.identifier()?) };
+                    parser.expect_char(')')?;
+                    let pin = resolve_pin(&nl, cell, out_pin, &inst_name, &pin_name)?;
+                    if let Some(net_name) = net_name {
+                        let acc = nets.entry(net_name).or_default();
+                        if pin_name == "o" {
+                            acc.driver = Some(pin);
+                        } else {
+                            acc.sinks.push(pin);
+                        }
+                    }
+                    match parser.peek_char()? {
+                        ',' => parser.expect_char(',')?,
+                        ')' => {
+                            parser.expect_char(')')?;
+                            break;
+                        }
+                        c => {
+                            return Err(parser.syntax(format!("expected `,` or `)`, got `{c}`")))
+                        }
+                    }
+                }
+                parser.expect_char(';')?;
+            }
+        }
+    }
+
+    // Resolve assigns: move the lhs port's sink onto the rhs net.
+    for (lhs, rhs) in aliases {
+        let Some(lhs_acc) = nets.get_mut(&lhs) else {
+            return Err(VerilogError::Syntax {
+                line: 0,
+                message: format!("assign target `{lhs}` is not a declared port"),
+            });
+        };
+        let sinks = std::mem::take(&mut lhs_acc.sinks);
+        nets.entry(rhs).or_default().sinks.extend(sinks);
+    }
+
+    // Materialize nets (ports may be drivers or sinks).
+    for (name, acc) in nets {
+        let (Some(driver), sinks) = (acc.driver, acc.sinks) else {
+            continue; // undriven wire: ignore, like synthesis tools do
+        };
+        if sinks.is_empty() {
+            continue;
+        }
+        nl.connect_net(name, driver, &sinks)?;
+    }
+    Ok(nl)
+}
+
+fn resolve_pin(
+    nl: &Netlist,
+    cell: crate::CellId,
+    out_pin: PinId,
+    inst: &str,
+    pin_name: &str,
+) -> Result<PinId, VerilogError> {
+    if pin_name == "o" {
+        return Ok(out_pin);
+    }
+    let idx: usize = pin_name
+        .strip_prefix('i')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| VerilogError::UnknownPin(inst.to_owned(), pin_name.to_owned()))?;
+    nl.cell(cell)
+        .inputs
+        .get(idx)
+        .copied()
+        .ok_or_else(|| VerilogError::UnknownPin(inst.to_owned(), pin_name.to_owned()))
+}
+
+/// Minimal recursive-descent tokenizer over the cleaned text.
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.text[self.pos..].chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.text[..self.pos].lines().count().max(1)
+    }
+
+    fn syntax(&self, message: String) -> VerilogError {
+        VerilogError::Syntax { line: self.line(), message }
+    }
+
+    fn peek_char(&mut self) -> Result<char, VerilogError> {
+        self.skip_ws();
+        self.text[self.pos..].chars().next().ok_or(VerilogError::UnexpectedEof)
+    }
+
+    fn expect_char(&mut self, want: char) -> Result<(), VerilogError> {
+        let got = self.peek_char()?;
+        if got != want {
+            return Err(self.syntax(format!("expected `{want}`, got `{got}`")));
+        }
+        self.pos += got.len_utf8();
+        Ok(())
+    }
+
+    fn identifier(&mut self) -> Result<String, VerilogError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.text[self.pos..].chars() {
+            if c.is_alphanumeric() || c == '_' || c == '$' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            let got = self.peek_char()?;
+            return Err(self.syntax(format!("expected identifier, got `{got}`")));
+        }
+        Ok(self.text[start..self.pos].to_owned())
+    }
+
+    fn expect_word(&mut self, want: &str) -> Result<(), VerilogError> {
+        let got = self.identifier()?;
+        if got != want {
+            return Err(self.syntax(format!("expected `{want}`, got `{got}`")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateFn, TimingGraph};
+
+    fn tiny() -> (CellLibrary, Netlist) {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("top");
+        let a = nl.add_input_port("a");
+        let b = nl.add_input_port("b");
+        let and_t = lib.pick(GateFn::And2, 1).unwrap();
+        let inv_t = lib.pick(GateFn::Inv, 2).unwrap();
+        let (c0, o0) = nl.add_cell("u0", and_t, &lib);
+        let (c1, o1) = nl.add_cell("u1", inv_t, &lib);
+        let (i0, i1) = (nl.cell(c0).inputs[0], nl.cell(c0).inputs[1]);
+        let i2 = nl.cell(c1).inputs[0];
+        nl.connect_net("a", a, &[i0]).unwrap();
+        nl.connect_net("b", b, &[i1]).unwrap();
+        nl.connect_net("w0", o0, &[i2]).unwrap();
+        let y = nl.add_output_port("y");
+        nl.connect_net("y", o1, &[y]).unwrap();
+        (lib, nl)
+    }
+
+    #[test]
+    fn writes_readable_verilog() {
+        let (lib, nl) = tiny();
+        let v = write_verilog(&nl, &lib);
+        assert!(v.starts_with("module top (a, b, y);"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("output y;"));
+        assert!(v.contains("AND2_X1 u0 (.i0(a), .i1(b), .o(w0));"));
+        assert!(v.contains("INV_X2 u1 (.i0(w0), .o(y));"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (lib, nl) = tiny();
+        let v = write_verilog(&nl, &lib);
+        let back = parse_verilog(&v, &lib).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.num_cells(), nl.num_cells());
+        assert_eq!(back.num_nets(), nl.num_nets());
+        assert_eq!(back.input_ports().len(), 2);
+        assert_eq!(back.output_ports().len(), 1);
+        // Timing structure identical.
+        let g1 = TimingGraph::build(&nl, &lib);
+        let g2 = TimingGraph::build(&back, &lib);
+        assert_eq!(g1.num_net_edges(), g2.num_net_edges());
+        assert_eq!(g1.num_cell_edges(), g2.num_cell_edges());
+        assert_eq!(g1.max_level(), g2.max_level());
+    }
+
+    #[test]
+    fn roundtrip_generated_design() {
+        // A bigger structural round-trip through a generated netlist.
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("gen");
+        // Build a few layers by hand to avoid a circular dev-dependency.
+        let mut drivers = Vec::new();
+        for i in 0..6 {
+            drivers.push(nl.add_input_port(format!("p{i}")));
+        }
+        let nand = lib.pick(GateFn::Nand2, 1).unwrap();
+        for layer in 0..4 {
+            let mut next = Vec::new();
+            for (k, pair) in drivers.chunks(2).enumerate() {
+                if pair.len() < 2 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let (c, o) = nl.add_cell(format!("n{layer}_{k}"), nand, &lib);
+                let (a, b) = (nl.cell(c).inputs[0], nl.cell(c).inputs[1]);
+                nl.connect_net(format!("wa{layer}_{k}"), pair[0], &[a]).unwrap();
+                nl.connect_net(format!("wb{layer}_{k}"), pair[1], &[b]).unwrap();
+                next.push(o);
+            }
+            drivers = next;
+        }
+        for (i, &d) in drivers.iter().enumerate() {
+            let y = nl.add_output_port(format!("q{i}"));
+            nl.connect_net(format!("wo{i}"), d, &[y]).unwrap();
+        }
+        nl.validate().unwrap();
+
+        let v = write_verilog(&nl, &lib);
+        let back = parse_verilog(&v, &lib).unwrap();
+        assert_eq!(back.num_cells(), nl.num_cells());
+        assert_eq!(back.num_nets(), nl.num_nets());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_cells_and_pins() {
+        let lib = CellLibrary::asap7_like();
+        let bad_type = "module m (a, y);\n input a;\n output y;\n FOO_X9 u0 (.i0(a), .o(y));\nendmodule";
+        assert!(matches!(
+            parse_verilog(bad_type, &lib),
+            Err(VerilogError::UnknownCellType(_))
+        ));
+        let bad_pin = "module m (a, y);\n input a;\n output y;\n INV_X1 u0 (.zz(a), .o(y));\nendmodule";
+        assert!(matches!(parse_verilog(bad_pin, &lib), Err(VerilogError::UnknownPin(..))));
+    }
+
+    #[test]
+    fn parse_reports_syntax_errors_with_lines() {
+        let lib = CellLibrary::asap7_like();
+        let text = "module m (a);\n input a input;\n"; // missing `;` after `a`
+        match parse_verilog(text, &lib) {
+            Err(VerilogError::Syntax { line, .. }) => assert!(line >= 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        // Truncated input reports EOF.
+        assert!(matches!(
+            parse_verilog("module m (a);\n input a", &lib),
+            Err(VerilogError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let lib = CellLibrary::asap7_like();
+        let text = "// header\nmodule m (a, y); // ports\n input a;\n output y;\n \
+                    INV_X1 u0 (.i0(a), .o(y)); // the gate\nendmodule\n";
+        let nl = parse_verilog(text, &lib).unwrap();
+        assert_eq!(nl.num_cells(), 1);
+    }
+
+    #[test]
+    fn multi_port_net_roundtrips_via_assign() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("fanports");
+        let a = nl.add_input_port("a");
+        let inv = lib.pick(GateFn::Inv, 1).unwrap();
+        let (c, o) = nl.add_cell("u0", inv, &lib);
+        let i = nl.cell(c).inputs[0];
+        nl.connect_net("a", a, &[i]).unwrap();
+        let y0 = nl.add_output_port("y0");
+        let y1 = nl.add_output_port("y1");
+        let y2 = nl.add_output_port("y2");
+        nl.connect_net("w", o, &[y0, y1, y2]).unwrap();
+
+        let text = write_verilog(&nl, &lib);
+        assert!(text.contains("assign"), "extra port sinks need assigns:\n{text}");
+        let back = parse_verilog(&text, &lib).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.num_nets(), 2);
+        let (_, net) = back.nets().find(|(_, n)| n.sinks.len() == 3).expect("fanout-3 net");
+        assert_eq!(net.sinks.len(), 3);
+    }
+
+    #[test]
+    fn dangling_instance_pin_is_allowed() {
+        let lib = CellLibrary::asap7_like();
+        let text = "module m (a, y);\n input a;\n output y;\n wire w;\n \
+                    AND2_X1 u0 (.i0(a), .i1(), .o(y));\nendmodule";
+        let nl = parse_verilog(text, &lib).unwrap();
+        let (_, cell) = nl.cells().next().unwrap();
+        assert!(nl.pin(cell.inputs[1]).net.is_none());
+    }
+}

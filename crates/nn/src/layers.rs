@@ -1,0 +1,207 @@
+//! Layer zoo: linear, MLP, and 2-D convolution.
+
+use rand::Rng;
+
+use crate::{ParamId, ParamStore, Tape, Tensor, Var};
+
+/// A fully-connected layer `y = x·W + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized layer in `store`.
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        let w = store.register(Tensor::xavier(rng, in_dim, out_dim));
+        let b = store.register(Tensor::zeros(&[out_dim]));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a `[rows, in_dim]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches.
+    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        x.matmul(w).add_row(b)
+    }
+}
+
+/// A multi-layer perceptron with ReLU between layers — the paper's
+/// `f^MLP` blocks (3 layers in all experiments).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP through the given widths, e.g. `[in, hidden, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(store, rng, w[0], w[1]))
+            .collect();
+        Self { layers }
+    }
+
+    /// Builds an MLP whose *final* layer is initialized `output_scale`
+    /// smaller, with a small positive bias.
+    ///
+    /// This is the standard initialization for residual increments: the
+    /// block starts near (but not exactly at) zero, so a deep residual
+    /// stack neither explodes at initialization nor starves the ReLU of
+    /// gradient.
+    pub fn new_scaled<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        widths: &[usize],
+        output_scale: f32,
+    ) -> Self {
+        let mlp = Self::new(store, rng, widths);
+        let last = mlp.layers.last().expect("nonempty");
+        store.value_mut(last.w).scale_assign(output_scale);
+        for v in store.value_mut(last.b).data_mut() {
+            *v = 0.02;
+        }
+        mlp
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("nonempty").in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Applies all layers with ReLU on every hidden activation (the output
+    /// layer is linear).
+    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i + 1 < self.layers.len() {
+                h = h.relu();
+            }
+        }
+        h
+    }
+}
+
+/// A 2-D convolution layer with per-channel bias, stride 1.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    w: ParamId,
+    b: ParamId,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Registers a conv layer with a `[out_ch, in_ch, k, k]` kernel.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        pad: usize,
+    ) -> Self {
+        let fan_in = in_ch * k * k;
+        let bound = (6.0 / (fan_in + out_ch * k * k) as f32).sqrt();
+        let w = store.register(Tensor::uniform(rng, &[out_ch, in_ch, k, k], bound));
+        let b = store.register(Tensor::zeros(&[out_ch]));
+        Self { w, b, pad }
+    }
+
+    /// Applies the convolution to a `[in_ch, H, W]` feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        tape.conv2d(x, w, self.pad).add_channel(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mse, Adam};
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, &mut rng, 3, 5);
+        assert_eq!((l.in_dim(), l.out_dim()), (3, 5));
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[7, 3]));
+        let y = l.forward(&tape, &store, x);
+        assert_eq!(tape.value(y).shape(), &[7, 5]);
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, &[2, 8, 8, 1]);
+        let x = Tensor::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Tensor::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut adam = Adam::new(0.02);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let pred = mlp.forward(&tape, &store, tape.constant(x.clone()));
+            let loss = mse(&tape, pred, tape.constant(y.clone()));
+            last = tape.value(loss).data()[0];
+            let grads = tape.backward(loss);
+            adam.step(&mut store, &grads);
+        }
+        assert!(last < 0.02, "xor loss stayed at {last}");
+    }
+
+    #[test]
+    fn conv_output_shape_with_padding() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let conv = Conv2d::new(&mut store, &mut rng, 3, 6, 3, 1);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[3, 16, 16]));
+        let y = conv.forward(&tape, &store, x);
+        assert_eq!(tape.value(y).shape(), &[6, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn mlp_needs_two_widths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, &mut rng, &[4]);
+    }
+}

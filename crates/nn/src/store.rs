@@ -1,0 +1,220 @@
+//! Long-lived trainable parameters and gradient collection.
+
+use std::collections::HashMap;
+
+use crate::Tensor;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns all trainable tensors of a model.
+///
+/// Layers keep [`ParamId`] handles; each forward pass injects the current
+/// values into a [`crate::Tape`] and optimizers update them from
+/// [`Grads`].
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    tensors: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter; returns its handle.
+    pub fn register(&mut self, init: Tensor) -> ParamId {
+        self.tensors.push(init);
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// `true` if the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// The current value of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Iterates over `(id, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+    }
+
+    /// Serializes all parameters into a simple length-prefixed byte blob
+    /// (shape rank, dims, then little-endian f32s, per tensor).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
+        for t in &self.tensors {
+            out.extend_from_slice(&(t.shape().len() as u32).to_le_bytes());
+            for &d in t.shape() {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &v in t.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restores parameter values from [`Self::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the blob is truncated or the shapes do not
+    /// match this store's registered parameters.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cur = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], String> {
+            if cur + n > bytes.len() {
+                return Err("truncated parameter blob".to_owned());
+            }
+            let s = &bytes[cur..cur + n];
+            cur += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        if count != self.tensors.len() {
+            return Err(format!("blob has {count} tensors, store has {}", self.tensors.len()));
+        }
+        let mut restored = Vec::with_capacity(count);
+        for i in 0..count {
+            let rank = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize);
+            }
+            if shape != self.tensors[i].shape() {
+                return Err(format!(
+                    "tensor {i} shape {shape:?} != registered {:?}",
+                    self.tensors[i].shape()
+                ));
+            }
+            let volume: usize = shape.iter().product();
+            let raw = take(volume * 4)?;
+            let data = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            restored.push(Tensor::from_vec(&shape, data));
+        }
+        self.tensors = restored;
+        Ok(())
+    }
+}
+
+/// Gradients produced by [`crate::Tape::backward`].
+#[derive(Debug, Default)]
+pub struct Grads {
+    by_param: HashMap<ParamId, Tensor>,
+    by_var: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    pub(crate) fn insert_param(&mut self, id: ParamId, g: Tensor) {
+        self.by_param.insert(id, g);
+    }
+
+    pub(crate) fn set_var_grads(&mut self, grads: Vec<Option<Tensor>>) {
+        self.by_var = grads;
+    }
+
+    /// Gradient of the loss with respect to parameter `id`, if it
+    /// participated in the forward pass.
+    pub fn of(&self, id: ParamId) -> Option<&Tensor> {
+        self.by_param.get(&id)
+    }
+
+    /// Gradient with respect to the tape node `var_id` (see
+    /// [`crate::Var::id`]); useful for tests and saliency inspection.
+    pub fn wrt(&self, var_id: usize) -> Option<&Tensor> {
+        self.by_var.get(var_id).and_then(Option::as_ref)
+    }
+
+    /// Global gradient L2 norm over all parameters.
+    pub fn norm(&self) -> f32 {
+        self.by_param.values().map(|t| t.norm().powi(2)).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_access() {
+        let mut s = ParamStore::new();
+        let a = s.register(Tensor::zeros(&[2, 3]));
+        let b = s.register(Tensor::full(&[4], 1.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 10);
+        assert_eq!(s.value(a).shape(), &[2, 3]);
+        s.value_mut(b).data_mut()[0] = 9.0;
+        assert_eq!(s.value(b).data()[0], 9.0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut s = ParamStore::new();
+        s.register(Tensor::uniform(&mut rng, &[3, 5], 1.0));
+        s.register(Tensor::uniform(&mut rng, &[7], 2.0));
+        let bytes = s.to_bytes();
+        let mut s2 = ParamStore::new();
+        s2.register(Tensor::zeros(&[3, 5]));
+        s2.register(Tensor::zeros(&[7]));
+        s2.load_bytes(&bytes).unwrap();
+        for ((_, a), (_, b)) in s.iter().zip(s2.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn load_rejects_mismatched_shapes() {
+        let mut s = ParamStore::new();
+        s.register(Tensor::zeros(&[2, 2]));
+        let bytes = s.to_bytes();
+        let mut other = ParamStore::new();
+        other.register(Tensor::zeros(&[4]));
+        assert!(other.load_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let mut s = ParamStore::new();
+        s.register(Tensor::zeros(&[2, 2]));
+        let bytes = s.to_bytes();
+        let mut s2 = ParamStore::new();
+        s2.register(Tensor::zeros(&[2, 2]));
+        assert!(s2.load_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

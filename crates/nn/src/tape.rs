@@ -1,0 +1,1068 @@
+//! Define-by-run computation graph with reverse-mode differentiation.
+
+use std::cell::RefCell;
+
+use crate::store::{Grads, ParamId, ParamStore};
+use crate::Tensor;
+
+/// A node handle on a [`Tape`].
+///
+/// `Var` is `Copy`; all arithmetic builds new nodes on the owning tape.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+enum Op {
+    Leaf { param: Option<ParamId> },
+    MatMul(usize, usize),
+    Add(usize, usize),
+    AddRow(usize, usize),
+    AddChannel(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    MulRow(usize, usize),
+    Scale(usize, f32),
+    Relu(usize),
+    Tanh(usize),
+    GatherRows(usize, Vec<u32>),
+    GatherMulti { srcs: Vec<usize>, index: Vec<(u32, u32)> },
+    SegmentMax { x: usize, argmax: Vec<i64> },
+    SegmentSum { x: usize, seg: Vec<u32> },
+    ScaleRows(usize, Vec<f32>),
+    ConcatRows(usize, usize),
+    ConcatCols(usize, usize),
+    Conv2d { x: usize, w: usize, pad: usize },
+    MaxPool2d { x: usize, argmax: Vec<u32> },
+    Reshape(usize),
+    Mean(usize),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A define-by-run tape: forward ops append nodes; [`Tape::backward`]
+/// sweeps them in reverse to produce [`Grads`].
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var { tape: self, id: nodes.len() - 1 }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` if no ops have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Adds a non-trainable input leaf.
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Injects a trainable parameter from `store` as a leaf; its gradient
+    /// will be retrievable from [`Grads::of`] after `backward`.
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var<'_> {
+        self.push(store.value(id).clone(), Op::Leaf { param: Some(id) })
+    }
+
+    /// The current value of `v` (cloned).
+    pub fn value(&self, v: Var<'_>) -> Tensor {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// Selects rows `idx` from matrix `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `x` is not a matrix.
+    pub fn gather_rows<'t>(&'t self, x: Var<'t>, idx: &[u32]) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let src = &nodes[x.id].value;
+        let d = src.cols();
+        let mut out = Tensor::zeros(&[idx.len().max(1), d]);
+        for (i, &r) in idx.iter().enumerate() {
+            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+        }
+        drop(nodes);
+        self.push(out, Op::GatherRows(x.id, idx.to_vec()))
+    }
+
+    /// Selects rows from several source matrices: entry `(s, r)` takes row
+    /// `r` of `sources[s]`. All sources must share a column count. This is
+    /// the workhorse of levelized message passing — predecessors of a
+    /// topological level live in many earlier level matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty `sources`, mismatched columns, or bad indices.
+    pub fn gather_multi<'t>(&'t self, sources: &[Var<'t>], index: &[(u32, u32)]) -> Var<'t> {
+        assert!(!sources.is_empty(), "gather_multi needs sources");
+        let nodes = self.nodes.borrow();
+        let d = nodes[sources[0].id].value.cols();
+        for s in sources {
+            assert_eq!(nodes[s.id].value.cols(), d, "sources must share columns");
+        }
+        let mut out = Tensor::zeros(&[index.len().max(1), d]);
+        for (i, &(s, r)) in index.iter().enumerate() {
+            let src = &nodes[sources[s as usize].id].value;
+            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+        }
+        drop(nodes);
+        self.push(
+            out,
+            Op::GatherMulti { srcs: sources.iter().map(|s| s.id).collect(), index: index.to_vec() },
+        )
+    }
+
+    /// Per-segment column-wise maximum: rows of `x` with equal `seg` value
+    /// reduce into one output row (the paper's `max` aggregation for cell
+    /// nodes). Empty segments produce zero rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len() != x.rows()` or a segment id `>= num_segments`.
+    pub fn segment_max<'t>(&'t self, x: Var<'t>, seg: &[u32], num_segments: usize) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let src = &nodes[x.id].value;
+        assert_eq!(seg.len(), src.rows(), "one segment id per row");
+        let d = src.cols();
+        let mut out = Tensor::full(&[num_segments.max(1), d], f32::NEG_INFINITY);
+        let mut argmax = vec![-1i64; num_segments.max(1) * d];
+        for (r, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < num_segments, "segment id out of range");
+            for c in 0..d {
+                let v = src.at(r, c);
+                if v > out.at(s, c) {
+                    out.data_mut()[s * d + c] = v;
+                    argmax[s * d + c] = r as i64;
+                }
+            }
+        }
+        for (o, a) in out.data_mut().iter_mut().zip(&argmax) {
+            if *a < 0 {
+                *o = 0.0; // empty segment
+            }
+        }
+        drop(nodes);
+        self.push(out, Op::SegmentMax { x: x.id, argmax })
+    }
+
+    /// Per-segment column-wise sum (used with [`Tape::scale_rows`] for the
+    /// mean-aggregation ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len() != x.rows()` or a segment id `>= num_segments`.
+    pub fn segment_sum<'t>(&'t self, x: Var<'t>, seg: &[u32], num_segments: usize) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let src = &nodes[x.id].value;
+        assert_eq!(seg.len(), src.rows(), "one segment id per row");
+        let d = src.cols();
+        let mut out = Tensor::zeros(&[num_segments.max(1), d]);
+        for (r, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < num_segments, "segment id out of range");
+            for c in 0..d {
+                out.data_mut()[s * d + c] += src.at(r, c);
+            }
+        }
+        drop(nodes);
+        self.push(out, Op::SegmentSum { x: x.id, seg: seg.to_vec() })
+    }
+
+    /// Multiplies each row of `x` by a constant factor (no gradient flows to
+    /// the factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != x.rows()`.
+    pub fn scale_rows<'t>(&'t self, x: Var<'t>, factors: &[f32]) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let src = &nodes[x.id].value;
+        assert_eq!(factors.len(), src.rows());
+        let d = src.cols();
+        let mut out = src.clone();
+        for (r, &f) in factors.iter().enumerate() {
+            for v in &mut out.data_mut()[r * d..(r + 1) * d] {
+                *v *= f;
+            }
+        }
+        drop(nodes);
+        self.push(out, Op::ScaleRows(x.id, factors.to_vec()))
+    }
+
+    /// Stacks `a` above `b` (matrices with equal column counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column mismatch.
+    pub fn concat_rows<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let (ta, tb) = (&nodes[a.id].value, &nodes[b.id].value);
+        assert_eq!(ta.cols(), tb.cols(), "concat_rows column mismatch");
+        let mut data = ta.data().to_vec();
+        data.extend_from_slice(tb.data());
+        let out = Tensor::from_vec(&[ta.rows() + tb.rows(), ta.cols()], data);
+        drop(nodes);
+        self.push(out, Op::ConcatRows(a.id, b.id))
+    }
+
+    /// Concatenates `a` and `b` side by side (matrices with equal rows) —
+    /// the paper's multimodal fusion `[v_n ; v_l]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row mismatch.
+    pub fn concat_cols<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let (ta, tb) = (&nodes[a.id].value, &nodes[b.id].value);
+        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
+        let (m, p, q) = (ta.rows(), ta.cols(), tb.cols());
+        let mut out = Tensor::zeros(&[m, p + q]);
+        for r in 0..m {
+            out.data_mut()[r * (p + q)..r * (p + q) + p].copy_from_slice(ta.row(r));
+            out.data_mut()[r * (p + q) + p..(r + 1) * (p + q)].copy_from_slice(tb.row(r));
+        }
+        drop(nodes);
+        self.push(out, Op::ConcatCols(a.id, b.id))
+    }
+
+    /// 2-D convolution, stride 1: `x` is `[C_in, H, W]`, `w` is
+    /// `[C_out, C_in, kh, kw]`, output `[C_out, H', W']` with
+    /// `H' = H + 2·pad - kh + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or if the kernel exceeds the padded
+    /// input.
+    pub fn conv2d<'t>(&'t self, x: Var<'t>, w: Var<'t>, pad: usize) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let (tx, tw) = (&nodes[x.id].value, &nodes[w.id].value);
+        let out = conv2d_forward(tx, tw, pad);
+        drop(nodes);
+        self.push(out, Op::Conv2d { x: x.id, w: w.id, pad })
+    }
+
+    /// Max pooling with a square window and equal stride over `[C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not divide H and W.
+    pub fn maxpool2d<'t>(&'t self, x: Var<'t>, size: usize) -> Var<'t> {
+        let nodes = self.nodes.borrow();
+        let t = &nodes[x.id].value;
+        let (c, h, w) = rank3(t);
+        assert!(size > 0 && h % size == 0 && w % size == 0, "pool must tile the map");
+        let (oh, ow) = (h / size, w / size);
+        let mut out = Tensor::full(&[c, oh, ow], f32::NEG_INFINITY);
+        let mut argmax = vec![0u32; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oi = ch * oh * ow + oy * ow + ox;
+                    for dy in 0..size {
+                        for dx in 0..size {
+                            let (iy, ix) = (oy * size + dy, ox * size + dx);
+                            let ii = ch * h * w + iy * w + ix;
+                            let v = t.data()[ii];
+                            if v > out.data()[oi] {
+                                out.data_mut()[oi] = v;
+                                argmax[oi] = ii as u32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(nodes);
+        self.push(out, Op::MaxPool2d { x: x.id, argmax })
+    }
+
+    /// Runs the reverse sweep from scalar `loss` and collects gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var<'_>) -> Grads {
+        let nodes = self.nodes.borrow();
+        assert_eq!(nodes[loss.id].value.len(), 1, "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::full(nodes[loss.id].value.shape(), 1.0));
+
+        for id in (0..nodes.len()).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            backward_node(&nodes, id, &g, &mut grads);
+            grads[id] = Some(g);
+        }
+
+        let mut out = Grads::default();
+        for (id, node) in nodes.iter().enumerate() {
+            if let Op::Leaf { param: Some(pid) } = node.op {
+                if let Some(g) = grads[id].take() {
+                    out.insert_param(pid, g);
+                }
+            }
+        }
+        out.set_var_grads(grads);
+        out
+    }
+}
+
+fn rank3(t: &Tensor) -> (usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 3, "expected [C,H,W], got {s:?}");
+    (s[0], s[1], s[2])
+}
+
+fn conv2d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
+    let (cin, h, wd) = rank3(x);
+    let ws = w.shape();
+    assert_eq!(ws.len(), 4, "weight must be [Cout,Cin,kh,kw]");
+    let (cout, wcin, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+    assert_eq!(cin, wcin, "channel mismatch");
+    let oh = h + 2 * pad + 1 - kh;
+    let ow = wd + 2 * pad + 1 - kw;
+    let mut out = Tensor::zeros(&[cout, oh, ow]);
+    for co in 0..cout {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ci in 0..cin {
+                    for ky in 0..kh {
+                        let iy = (oy + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= wd as isize {
+                                continue;
+                            }
+                            acc += x.data()[ci * h * wd + iy as usize * wd + ix as usize]
+                                * w.data()[((co * cin + ci) * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+                out.data_mut()[co * oh * ow + oy * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+fn accumulate(slot: &mut Option<Tensor>, shape: &[usize], add: impl FnOnce(&mut Tensor)) {
+    let g = slot.get_or_insert_with(|| Tensor::zeros(shape));
+    add(g);
+}
+
+#[allow(clippy::too_many_lines)]
+fn backward_node(nodes: &[Node], id: usize, g: &Tensor, grads: &mut Vec<Option<Tensor>>) {
+    match &nodes[id].op {
+        Op::Leaf { .. } => {}
+        Op::MatMul(a, b) => {
+            let (ta, tb) = (&nodes[*a].value, &nodes[*b].value);
+            let ga = g.matmul(&tb.transposed());
+            let gb = ta.transposed().matmul(g);
+            accumulate(&mut grads[*a], ta.shape(), |t| t.add_assign(&ga));
+            accumulate(&mut grads[*b], tb.shape(), |t| t.add_assign(&gb));
+        }
+        Op::Add(a, b) => {
+            for src in [a, b] {
+                accumulate(&mut grads[*src], nodes[*src].value.shape(), |t| t.add_assign(g));
+            }
+        }
+        Op::Sub(a, b) => {
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| t.add_assign(g));
+            accumulate(&mut grads[*b], nodes[*b].value.shape(), |t| {
+                for (x, y) in t.data_mut().iter_mut().zip(g.data()) {
+                    *x -= y;
+                }
+            });
+        }
+        Op::AddRow(a, row) => {
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| t.add_assign(g));
+            let n = nodes[*row].value.len();
+            accumulate(&mut grads[*row], nodes[*row].value.shape(), |t| {
+                for (i, v) in g.data().iter().enumerate() {
+                    t.data_mut()[i % n] += v;
+                }
+            });
+        }
+        Op::AddChannel(x, b) => {
+            accumulate(&mut grads[*x], nodes[*x].value.shape(), |t| t.add_assign(g));
+            let (c, h, w) = rank3(&nodes[*x].value);
+            accumulate(&mut grads[*b], nodes[*b].value.shape(), |t| {
+                for ch in 0..c {
+                    let s: f32 = g.data()[ch * h * w..(ch + 1) * h * w].iter().sum();
+                    t.data_mut()[ch] += s;
+                }
+            });
+        }
+        Op::Mul(a, b) => {
+            let (ta, tb) = (nodes[*a].value.clone(), nodes[*b].value.clone());
+            accumulate(&mut grads[*a], ta.shape(), |t| {
+                for ((x, gv), bv) in t.data_mut().iter_mut().zip(g.data()).zip(tb.data()) {
+                    *x += gv * bv;
+                }
+            });
+            accumulate(&mut grads[*b], tb.shape(), |t| {
+                for ((x, gv), av) in t.data_mut().iter_mut().zip(g.data()).zip(ta.data()) {
+                    *x += gv * av;
+                }
+            });
+        }
+        Op::MulRow(a, row) => {
+            let ta = nodes[*a].value.clone();
+            let tr = nodes[*row].value.clone();
+            let n = tr.len();
+            accumulate(&mut grads[*a], ta.shape(), |t| {
+                for (i, (x, gv)) in t.data_mut().iter_mut().zip(g.data()).enumerate() {
+                    *x += gv * tr.data()[i % n];
+                }
+            });
+            accumulate(&mut grads[*row], tr.shape(), |t| {
+                for (i, gv) in g.data().iter().enumerate() {
+                    t.data_mut()[i % n] += gv * ta.data()[i];
+                }
+            });
+        }
+        Op::Scale(a, s) => {
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for (x, gv) in t.data_mut().iter_mut().zip(g.data()) {
+                    *x += gv * s;
+                }
+            });
+        }
+        Op::Relu(a) => {
+            let ta = nodes[*a].value.clone();
+            accumulate(&mut grads[*a], ta.shape(), |t| {
+                for ((x, gv), av) in t.data_mut().iter_mut().zip(g.data()).zip(ta.data()) {
+                    if *av > 0.0 {
+                        *x += gv;
+                    }
+                }
+            });
+        }
+        Op::Tanh(a) => {
+            let ty = nodes[id].value.clone();
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for ((x, gv), yv) in t.data_mut().iter_mut().zip(g.data()).zip(ty.data()) {
+                    *x += gv * (1.0 - yv * yv);
+                }
+            });
+        }
+        Op::GatherRows(a, idx) => {
+            let d = nodes[*a].value.cols();
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for (i, &r) in idx.iter().enumerate() {
+                    let dst = &mut t.data_mut()[r as usize * d..(r as usize + 1) * d];
+                    for (x, gv) in dst.iter_mut().zip(&g.data()[i * d..(i + 1) * d]) {
+                        *x += gv;
+                    }
+                }
+            });
+        }
+        Op::GatherMulti { srcs, index } => {
+            let d = nodes[srcs[0]].value.cols();
+            for (i, &(s, r)) in index.iter().enumerate() {
+                let src = srcs[s as usize];
+                accumulate(&mut grads[src], nodes[src].value.shape(), |t| {
+                    let dst = &mut t.data_mut()[r as usize * d..(r as usize + 1) * d];
+                    for (x, gv) in dst.iter_mut().zip(&g.data()[i * d..(i + 1) * d]) {
+                        *x += gv;
+                    }
+                });
+            }
+        }
+        Op::SegmentMax { x, argmax } => {
+            let d = nodes[*x].value.cols();
+            accumulate(&mut grads[*x], nodes[*x].value.shape(), |t| {
+                for (oi, &src_row) in argmax.iter().enumerate() {
+                    if src_row >= 0 {
+                        let col = oi % d;
+                        t.data_mut()[src_row as usize * d + col] += g.data()[oi];
+                    }
+                }
+            });
+        }
+        Op::SegmentSum { x, seg } => {
+            let d = nodes[*x].value.cols();
+            accumulate(&mut grads[*x], nodes[*x].value.shape(), |t| {
+                for (r, &s) in seg.iter().enumerate() {
+                    let dst = &mut t.data_mut()[r * d..(r + 1) * d];
+                    let src = &g.data()[s as usize * d..(s as usize + 1) * d];
+                    for (x, gv) in dst.iter_mut().zip(src) {
+                        *x += gv;
+                    }
+                }
+            });
+        }
+        Op::ScaleRows(x, factors) => {
+            let d = nodes[*x].value.cols();
+            accumulate(&mut grads[*x], nodes[*x].value.shape(), |t| {
+                for (r, &f) in factors.iter().enumerate() {
+                    for (x, gv) in t.data_mut()[r * d..(r + 1) * d]
+                        .iter_mut()
+                        .zip(&g.data()[r * d..(r + 1) * d])
+                    {
+                        *x += gv * f;
+                    }
+                }
+            });
+        }
+        Op::ConcatRows(a, b) => {
+            let na = nodes[*a].value.len();
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for (x, gv) in t.data_mut().iter_mut().zip(&g.data()[..na]) {
+                    *x += gv;
+                }
+            });
+            accumulate(&mut grads[*b], nodes[*b].value.shape(), |t| {
+                for (x, gv) in t.data_mut().iter_mut().zip(&g.data()[na..]) {
+                    *x += gv;
+                }
+            });
+        }
+        Op::ConcatCols(a, b) => {
+            let (p, q) = (nodes[*a].value.cols(), nodes[*b].value.cols());
+            let m = nodes[*a].value.rows();
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for r in 0..m {
+                    for c in 0..p {
+                        t.data_mut()[r * p + c] += g.data()[r * (p + q) + c];
+                    }
+                }
+            });
+            accumulate(&mut grads[*b], nodes[*b].value.shape(), |t| {
+                for r in 0..m {
+                    for c in 0..q {
+                        t.data_mut()[r * q + c] += g.data()[r * (p + q) + p + c];
+                    }
+                }
+            });
+        }
+        Op::Conv2d { x, w, pad } => {
+            let tx = nodes[*x].value.clone();
+            let tw = nodes[*w].value.clone();
+            let (cin, h, wd) = rank3(&tx);
+            let ws = tw.shape().to_vec();
+            let (cout, kh, kw) = (ws[0], ws[2], ws[3]);
+            let (oh, ow) = (h + 2 * pad + 1 - kh, wd + 2 * pad + 1 - kw);
+            let pad = *pad;
+            accumulate(&mut grads[*x], tx.shape(), |gx| {
+                for co in 0..cout {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let gv = g.data()[co * oh * ow + oy * ow + ox];
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..cin {
+                                for ky in 0..kh {
+                                    let iy = (oy + ky) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..kw {
+                                        let ix = (ox + kx) as isize - pad as isize;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        gx.data_mut()
+                                            [ci * h * wd + iy as usize * wd + ix as usize] += gv
+                                            * tw.data()[((co * cin + ci) * kh + ky) * kw + kx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            accumulate(&mut grads[*w], tw.shape(), |gw| {
+                for co in 0..cout {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let gv = g.data()[co * oh * ow + oy * ow + ox];
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..cin {
+                                for ky in 0..kh {
+                                    let iy = (oy + ky) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..kw {
+                                        let ix = (ox + kx) as isize - pad as isize;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        gw.data_mut()[((co * cin + ci) * kh + ky) * kw + kx] +=
+                                            gv * tx.data()
+                                                [ci * h * wd + iy as usize * wd + ix as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        Op::MaxPool2d { x, argmax } => {
+            accumulate(&mut grads[*x], nodes[*x].value.shape(), |t| {
+                for (oi, &ii) in argmax.iter().enumerate() {
+                    t.data_mut()[ii as usize] += g.data()[oi];
+                }
+            });
+        }
+        Op::Reshape(a) => {
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for (x, gv) in t.data_mut().iter_mut().zip(g.data()) {
+                    *x += gv;
+                }
+            });
+        }
+        Op::Mean(a) => {
+            let n = nodes[*a].value.len() as f32;
+            let gv = g.data()[0] / n;
+            accumulate(&mut grads[*a], nodes[*a].value.shape(), |t| {
+                for x in t.data_mut() {
+                    *x += gv;
+                }
+            });
+        }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// Node index on the tape (for debugging).
+    pub fn id(self) -> usize {
+        self.id
+    }
+
+    fn unary(self, value: Tensor, op: Op) -> Var<'t> {
+        self.tape.push(value, op)
+    }
+
+    fn val(self) -> Tensor {
+        self.tape.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(self, other: Var<'t>) -> Var<'t> {
+        let v = self.val().matmul(&other.val());
+        self.unary(v, Op::MatMul(self.id, other.id))
+    }
+
+    /// Elementwise sum (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(self, other: Var<'t>) -> Var<'t> {
+        let mut v = self.val();
+        v.add_assign(&other.val());
+        self.unary(v, Op::Add(self.id, other.id))
+    }
+
+    /// Adds a rank-1 row vector to every row of a matrix (bias add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn add_row(self, row: Var<'t>) -> Var<'t> {
+        let a = self.val();
+        let r = row.val();
+        assert_eq!(a.cols(), r.len(), "bias width mismatch");
+        let mut v = a.clone();
+        let n = r.len();
+        for (i, x) in v.data_mut().iter_mut().enumerate() {
+            *x += r.data()[i % n];
+        }
+        self.unary(v, Op::AddRow(self.id, row.id))
+    }
+
+    /// Adds a per-channel bias `[C]` to a feature map `[C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != C`.
+    pub fn add_channel(self, bias: Var<'t>) -> Var<'t> {
+        let x = self.val();
+        let b = bias.val();
+        let (c, h, w) = rank3(&x);
+        assert_eq!(b.len(), c, "one bias per channel");
+        let mut v = x.clone();
+        for ch in 0..c {
+            for p in &mut v.data_mut()[ch * h * w..(ch + 1) * h * w] {
+                *p += b.data()[ch];
+            }
+        }
+        self.unary(v, Op::AddChannel(self.id, bias.id))
+    }
+
+    /// Elementwise difference (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(self, other: Var<'t>) -> Var<'t> {
+        let a = self.val();
+        let b = other.val();
+        assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+        let mut v = a;
+        for (x, y) in v.data_mut().iter_mut().zip(b.data()) {
+            *x -= y;
+        }
+        self.unary(v, Op::Sub(self.id, other.id))
+    }
+
+    /// Elementwise (Hadamard) product — the paper's Equation 6 masking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(self, other: Var<'t>) -> Var<'t> {
+        let a = self.val();
+        let b = other.val();
+        assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+        let mut v = a;
+        for (x, y) in v.data_mut().iter_mut().zip(b.data()) {
+            *x *= y;
+        }
+        self.unary(v, Op::Mul(self.id, other.id))
+    }
+
+    /// Multiplies every row of a matrix by a rank-1 vector (broadcast
+    /// Hadamard — each endpoint mask row times the shared layout map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn mul_row(self, row: Var<'t>) -> Var<'t> {
+        let a = self.val();
+        let r = row.val();
+        assert_eq!(a.cols(), r.len(), "row width mismatch");
+        let mut v = a.clone();
+        let n = r.len();
+        for (i, x) in v.data_mut().iter_mut().enumerate() {
+            *x *= r.data()[i % n];
+        }
+        self.unary(v, Op::MulRow(self.id, row.id))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(self, s: f32) -> Var<'t> {
+        let mut v = self.val();
+        v.scale_assign(s);
+        self.unary(v, Op::Scale(self.id, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let mut v = self.val();
+        for x in v.data_mut() {
+            *x = x.max(0.0);
+        }
+        self.unary(v, Op::Relu(self.id))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let mut v = self.val();
+        for x in v.data_mut() {
+            *x = x.tanh();
+        }
+        self.unary(v, Op::Tanh(self.id))
+    }
+
+    /// Reshaped view (copy) with identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if volumes differ.
+    pub fn reshape(self, shape: &[usize]) -> Var<'t> {
+        let v = self.val().reshaped(shape);
+        self.unary(v, Op::Reshape(self.id))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(self) -> Var<'t> {
+        let t = self.val();
+        let m = t.sum() / t.len() as f32;
+        self.unary(Tensor::from_vec(&[1], vec![m]), Op::Mean(self.id))
+    }
+}
+
+/// Mean-squared-error loss between same-shape tensors — the paper's
+/// Equation 2.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse<'t>(_tape: &'t Tape, pred: Var<'t>, target: Var<'t>) -> Var<'t> {
+    let diff = pred.sub(target);
+    diff.mul(diff).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t2(rows: &[&[f32]]) -> Tensor {
+        Tensor::from_rows(rows)
+    }
+
+    #[test]
+    fn forward_values() {
+        let tape = Tape::new();
+        let a = tape.constant(t2(&[&[1.0, -2.0], &[3.0, 4.0]]));
+        let b = tape.constant(t2(&[&[1.0, 1.0], &[1.0, 1.0]]));
+        assert_eq!(tape.value(a.add(b)).data(), &[2.0, -1.0, 4.0, 5.0]);
+        assert_eq!(tape.value(a.relu()).data(), &[1.0, 0.0, 3.0, 4.0]);
+        assert_eq!(tape.value(a.scale(2.0)).data(), &[2.0, -4.0, 6.0, 8.0]);
+        assert_eq!(tape.value(a.mean()).data(), &[1.5]);
+    }
+
+    #[test]
+    fn gather_and_segment_ops() {
+        let tape = Tape::new();
+        let x = tape.constant(t2(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 0.0]]));
+        let g = tape.gather_rows(x, &[2, 0]);
+        assert_eq!(tape.value(g).data(), &[5.0, 0.0, 1.0, 2.0]);
+        // segments: rows 0 and 2 -> seg 0, row 1 -> seg 1
+        let m = tape.segment_max(x, &[0, 1, 0], 2);
+        assert_eq!(tape.value(m).data(), &[5.0, 2.0, 3.0, 4.0]);
+        let s = tape.segment_sum(x, &[0, 1, 0], 2);
+        assert_eq!(tape.value(s).data(), &[6.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_segment_yields_zero() {
+        let tape = Tape::new();
+        let x = tape.constant(t2(&[&[1.0, -1.0]]));
+        let m = tape.segment_max(x, &[1], 3);
+        assert_eq!(tape.value(m).data(), &[0.0, 0.0, 1.0, -1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_ops() {
+        let tape = Tape::new();
+        let a = tape.constant(t2(&[&[1.0], &[2.0]]));
+        let b = tape.constant(t2(&[&[3.0], &[4.0]]));
+        assert_eq!(tape.value(tape.concat_rows(a, b)).shape(), &[4, 1]);
+        let c = tape.concat_cols(a, b);
+        assert_eq!(tape.value(c).data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect()));
+        // 1x1 kernel with weight 2: doubles the map.
+        let w = tape.constant(Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]));
+        let y = tape.conv2d(x, w, 0);
+        assert_eq!(tape.value(y).shape(), &[1, 3, 3]);
+        assert_eq!(tape.value(y).data()[4], 10.0);
+    }
+
+    #[test]
+    fn conv_same_padding_shape() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[3, 8, 8]));
+        let w = tape.constant(Tensor::zeros(&[5, 3, 3, 3]));
+        let y = tape.conv2d(x, w, 1);
+        assert_eq!(tape.value(y).shape(), &[5, 8, 8]);
+    }
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(
+            &[1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 9.0, 2.0],
+        ));
+        let y = tape.maxpool2d(x, 2);
+        assert_eq!(tape.value(y).shape(), &[1, 1, 2]);
+        assert_eq!(tape.value(y).data(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let tape = Tape::new();
+        let a = tape.constant(t2(&[&[1.0, 2.0]]));
+        let b = tape.constant(t2(&[&[1.0, 2.0]]));
+        assert_eq!(tape.value(mse(&tape, a, b)).data(), &[0.0]);
+    }
+
+    #[test]
+    fn backward_through_simple_chain() {
+        // loss = mean((2x)^2), dloss/dx = 8x / n
+        let tape = Tape::new();
+        let x = tape.constant(t2(&[&[1.0, -3.0]]));
+        let y = x.scale(2.0);
+        let loss = y.mul(y).mean();
+        let grads = tape.backward(loss);
+        let gx = grads.wrt(x.id()).unwrap();
+        assert!((gx.data()[0] - 4.0).abs() < 1e-5);
+        assert!((gx.data()[1] + 12.0).abs() < 1e-5);
+    }
+
+    /// Central finite-difference gradient check of a scalar-valued function
+    /// of one tensor input.
+    fn grad_check<F>(shape: &[usize], f: F)
+    where
+        F: for<'a> Fn(&'a Tape, Var<'a>) -> Var<'a>,
+    {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x0 = Tensor::uniform(&mut rng, shape, 1.0);
+
+        let eval = |t: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let x = tape.constant(t.clone());
+            tape.value(f(&tape, x)).data()[0]
+        };
+
+        let tape = Tape::new();
+        let x = tape.constant(x0.clone());
+        let loss = f(&tape, x);
+        let grads = tape.backward(loss);
+        let analytic = grads.wrt(x.id()).expect("input grad").clone();
+
+        let eps = 3e-3;
+        for i in 0..x0.len() {
+            let mut plus = x0.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x0.clone();
+            minus.data_mut()[i] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (numeric - a).abs() <= 2e-2 * (1.0 + numeric.abs().max(a.abs())),
+                "element {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_check_matmul() {
+        grad_check(&[3, 4], |tape, x| {
+            let w = tape.constant(Tensor::full(&[4, 2], 0.5));
+            x.matmul(w).mul(x.matmul(w)).mean()
+        });
+    }
+
+    #[test]
+    fn grad_check_relu_tanh() {
+        grad_check(&[2, 5], |_tape, x| x.relu().tanh().mean());
+    }
+
+    #[test]
+    fn grad_check_add_row_mul_row() {
+        grad_check(&[3, 4], |tape, x| {
+            let r = tape.constant(Tensor::from_vec(&[4], vec![0.5, -1.0, 2.0, 0.1]));
+            x.add_row(r).mul_row(r).mean()
+        });
+    }
+
+    #[test]
+    fn grad_check_gather_segment_max() {
+        grad_check(&[4, 3], |tape, x| {
+            let g = tape.gather_rows(x, &[0, 2, 3, 1, 2]);
+            let m = tape.segment_max(g, &[0, 0, 1, 1, 1], 2);
+            m.mul(m).mean()
+        });
+    }
+
+    #[test]
+    fn grad_check_segment_sum_scale_rows() {
+        grad_check(&[4, 3], |tape, x| {
+            let s = tape.segment_sum(x, &[0, 1, 0, 1], 2);
+            let m = tape.scale_rows(s, &[0.5, 2.0]);
+            m.mul(m).mean()
+        });
+    }
+
+    #[test]
+    fn grad_check_concat() {
+        grad_check(&[2, 3], |tape, x| {
+            let rows = tape.concat_rows(x, x);
+            let cols = tape.concat_cols(x, x);
+            rows.mean().add(cols.mul(cols).mean())
+        });
+    }
+
+    #[test]
+    fn grad_check_conv_pool() {
+        grad_check(&[2, 4, 4], |tape, x| {
+            let w = tape.constant(Tensor::full(&[3, 2, 3, 3], 0.2));
+            let b = tape.constant(Tensor::from_vec(&[3], vec![0.1, -0.1, 0.2]));
+            let y = tape.conv2d(x, w, 1).add_channel(b).relu();
+            let p = tape.maxpool2d(y, 2);
+            p.mul(p).mean()
+        });
+    }
+
+    #[test]
+    fn grad_check_gather_multi() {
+        grad_check(&[3, 2], |tape, x| {
+            let y = x.scale(2.0);
+            let g = tape.gather_multi(&[x, y], &[(0, 0), (1, 2), (0, 1), (1, 1)]);
+            g.mul(g).mean()
+        });
+    }
+
+    #[test]
+    fn grad_check_reshape_sub() {
+        grad_check(&[2, 6], |tape, x| {
+            let y = x.reshape(&[3, 4]);
+            let z = tape.constant(Tensor::full(&[3, 4], 0.3));
+            let d = y.sub(z);
+            d.mul(d).mean()
+        });
+    }
+
+    #[test]
+    fn grads_accumulate_on_reuse() {
+        // loss = mean(x + x) -> dloss/dx = 2/n each.
+        let tape = Tape::new();
+        let x = tape.constant(t2(&[&[1.0, 1.0]]));
+        let loss = x.add(x).mean();
+        let grads = tape.backward(loss);
+        let gx = grads.wrt(x.id()).unwrap();
+        assert!((gx.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let x = tape.constant(t2(&[&[1.0, 2.0]]));
+        let _ = tape.backward(x);
+    }
+}

@@ -1,0 +1,315 @@
+//! Dense row-major float tensors.
+
+use rand::Rng;
+
+/// A dense tensor of `f32` values with a row-major layout.
+///
+/// Rank is arbitrary, but the ops in this crate use rank 1 (vectors), rank 2
+/// (matrices, `[rows, cols]`), and rank 3 (feature maps, `[channels, h, w]`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Creates a tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let mut t = Self::zeros(shape);
+        t.data.fill(v);
+        t
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not hold {} elements",
+            data.len()
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { shape: vec![rows.len(), cols], data }
+    }
+
+    /// Xavier/Glorot-uniform initialization for a `[fan_in, fan_out]` weight.
+    pub fn xavier<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Self {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data = (0..fan_in * fan_out).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self { shape: vec![fan_in, fan_out], data }
+    }
+
+    /// Uniform random tensor in `[-bound, bound]`.
+    pub fn uniform<R: Rng>(rng: &mut R, shape: &[usize], bound: f32) -> Self {
+        let mut t = Self::zeros(shape);
+        for v in &mut t.data {
+            *v = rng.gen_range(-bound..bound);
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no data (default-constructed).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of rows (first dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors.
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns (second dimension of a matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() needs a matrix");
+        self.shape[1]
+    }
+
+    /// Borrows matrix row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not a matrix or `r` out of range.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Matrix element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not a matrix or out of range.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        let cols = self.cols();
+        assert!(r < self.rows() && c < cols);
+        self.data[r * cols + c]
+    }
+
+    /// Returns a reshaped copy (same number of elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    #[must_use]
+    pub fn reshaped(&self, shape: &[usize]) -> Self {
+        Self::from_vec(shape, self.data.clone())
+    }
+
+    /// Matrix product `self · other` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    #[must_use]
+    pub fn transposed(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// In-place `self += other` (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.at(1, 0), 3.0);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.sum(), 10.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_result() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = Tensor::xavier(&mut rng, 8, 8);
+        let bound = (6.0 / 16.0f32).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_checks_volume() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_checks_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_identity(n in 1usize..6, seed in 0u64..100) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Tensor::uniform(&mut rng, &[n, n], 1.0);
+            let mut eye = Tensor::zeros(&[n, n]);
+            for i in 0..n { eye.data_mut()[i * n + i] = 1.0; }
+            let prod = a.matmul(&eye);
+            for (x, y) in prod.data().iter().zip(a.data()) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn transpose_swaps_matmul(
+            m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..50
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Tensor::uniform(&mut rng, &[m, k], 1.0);
+            let b = Tensor::uniform(&mut rng, &[k, n], 1.0);
+            let left = a.matmul(&b).transposed();
+            let right = b.transposed().matmul(&a.transposed());
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Structural diff between a netlist and its optimized version.
+//!
+//! Because ids are stable under tombstoning, the replacement statistics of
+//! the paper's Table I are exact set operations:
+//!
+//! * a **net edge** `(driver, sink)` of the input netlist is *replaced* if
+//!   the sink is no longer directly driven by that driver in the optimized
+//!   netlist (buffer insertion, driver change, net removal, pin death);
+//! * a **cell edge** is *replaced* if its cell was removed (decomposition,
+//!   bypass, dead-logic sweep). Gate sizing keeps the cell alive and is
+//!   *not* a replacement — matching the paper, which measures sizing churn
+//!   as Δdelay on unreplaced cells.
+
+use rtt_netlist::{CellLibrary, Netlist, PinId};
+
+/// Replacement statistics between an input netlist and its optimized form.
+#[derive(Clone, Debug, Default)]
+pub struct NetlistDiff {
+    /// Net edges in the input netlist.
+    pub total_net_edges: usize,
+    /// Input net edges no longer present after optimization.
+    pub replaced_net_edges: usize,
+    /// Cell edges (combinational input→output arcs) in the input netlist.
+    pub total_cell_edges: usize,
+    /// Input cell edges whose cell was removed.
+    pub replaced_cell_edges: usize,
+    surviving_net: Vec<(PinId, PinId)>,
+    surviving_cell: Vec<(PinId, PinId)>,
+}
+
+impl NetlistDiff {
+    /// Fraction of input net edges replaced (Table I `#replaced`, nets).
+    pub fn net_replaced_fraction(&self) -> f64 {
+        fraction(self.replaced_net_edges, self.total_net_edges)
+    }
+
+    /// Fraction of input cell edges replaced (Table I `#replaced`, cells).
+    pub fn cell_replaced_fraction(&self) -> f64 {
+        fraction(self.replaced_cell_edges, self.total_cell_edges)
+    }
+
+    /// Input net edges `(driver, sink)` that survived unchanged.
+    pub fn surviving_net_edges(&self) -> &[(PinId, PinId)] {
+        &self.surviving_net
+    }
+
+    /// Input cell edges `(input, output)` whose cell survived.
+    pub fn surviving_cell_edges(&self) -> &[(PinId, PinId)] {
+        &self.surviving_cell
+    }
+}
+
+fn fraction(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Diffs `before` (pre-optimization input) against `after` (optimized).
+///
+/// Both netlists must share an id space, i.e. `after` must have been
+/// produced by mutating a clone of `before`.
+pub fn diff_netlists(before: &Netlist, after: &Netlist, library: &CellLibrary) -> NetlistDiff {
+    let mut diff = NetlistDiff::default();
+
+    for (_, net) in before.nets() {
+        let driver = net.driver;
+        for &sink in &net.sinks {
+            diff.total_net_edges += 1;
+            let survives = sink.index() < after.pin_capacity()
+                && after.pin(sink).is_alive()
+                && after.pin(driver).is_alive()
+                && after
+                    .pin(sink)
+                    .net
+                    .is_some_and(|n| after.net(n).is_alive() && after.net(n).driver == driver);
+            if survives {
+                diff.surviving_net.push((driver, sink));
+            } else {
+                diff.replaced_net_edges += 1;
+            }
+        }
+    }
+
+    for (cid, cell) in before.cells() {
+        if library.cell_type(cell.type_id).is_sequential() {
+            continue; // sequential arcs are cut from the timing graph
+        }
+        let survives = after.cell(cid).is_alive();
+        for &input in &cell.inputs {
+            diff.total_cell_edges += 1;
+            if survives {
+                diff.surviving_cell.push((input, cell.output));
+            } else {
+                diff.replaced_cell_edges += 1;
+            }
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transforms::{bypass_repeater, insert_buffer};
+    use rtt_circgen::ripple_carry_adder;
+    use rtt_netlist::{CellLibrary, GateFn};
+    use rtt_place::{place, PlaceConfig, Point};
+
+    #[test]
+    fn identity_diff_replaces_nothing() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(4, &lib);
+        let d = diff_netlists(&nl, &nl, &lib);
+        assert_eq!(d.replaced_net_edges, 0);
+        assert_eq!(d.replaced_cell_edges, 0);
+        assert!(d.total_net_edges > 0);
+        assert!(d.total_cell_edges > 0);
+        assert_eq!(d.net_replaced_fraction(), 0.0);
+        assert_eq!(d.surviving_net_edges().len(), d.total_net_edges);
+    }
+
+    #[test]
+    fn buffer_insertion_replaces_exactly_one_net_edge() {
+        let lib = CellLibrary::asap7_like();
+        let before = ripple_carry_adder(4, &lib);
+        let mut after = before.clone();
+        let mut pl = place(&after, &lib, 0, &PlaceConfig::default());
+        let (net, sink) = {
+            let (nid, n) = after.nets().find(|(_, n)| n.sinks.len() == 1).unwrap();
+            (nid, n.sinks[0])
+        };
+        insert_buffer(&mut after, &mut pl, &lib, net, sink, Point::new(0.5, 0.5)).unwrap();
+        let d = diff_netlists(&before, &after, &lib);
+        assert_eq!(d.replaced_net_edges, 1);
+        assert_eq!(d.replaced_cell_edges, 0);
+    }
+
+    #[test]
+    fn bypass_replaces_cell_edges_and_net_edges() {
+        let lib = CellLibrary::asap7_like();
+        let mut before = rtt_netlist::Netlist::new("b");
+        let a = before.add_input_port("a");
+        let buf = lib.pick(GateFn::Buf, 1).unwrap();
+        let (c, o) = before.add_cell("u", buf, &lib);
+        let i = before.cell(c).inputs[0];
+        before.connect_net("ni", a, &[i]).unwrap();
+        let y = before.add_output_port("y");
+        before.connect_net("no", o, &[y]).unwrap();
+
+        let mut after = before.clone();
+        bypass_repeater(&mut after, &lib, c).unwrap();
+        let d = diff_netlists(&before, &after, &lib);
+        // Edges a->i and o->y are both gone; the buffer cell edge is gone.
+        assert_eq!(d.replaced_net_edges, 2);
+        assert_eq!(d.replaced_cell_edges, 1);
+        assert_eq!(d.cell_replaced_fraction(), 1.0);
+    }
+
+    #[test]
+    fn resize_is_not_a_replacement() {
+        let lib = CellLibrary::asap7_like();
+        let before = ripple_carry_adder(4, &lib);
+        let mut after = before.clone();
+        let (cid, cell) = after
+            .cells()
+            .find(|(_, c)| !lib.cell_type(c.type_id).is_sequential())
+            .map(|(id, c)| (id, c.clone()))
+            .unwrap();
+        let up = lib
+            .pick(lib.cell_type(cell.type_id).gate, 8)
+            .unwrap();
+        after.resize_cell(cid, up, &lib).unwrap();
+        let d = diff_netlists(&before, &after, &lib);
+        assert_eq!(d.replaced_net_edges, 0);
+        assert_eq!(d.replaced_cell_edges, 0);
+    }
+
+    #[test]
+    fn sequential_cells_do_not_count_as_cell_edges() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(2, &lib);
+        let d = diff_netlists(&nl, &nl, &lib);
+        let comb_inputs: usize = nl
+            .cells()
+            .filter(|(_, c)| !lib.cell_type(c.type_id).is_sequential())
+            .map(|(_, c)| c.inputs.len())
+            .sum();
+        assert_eq!(d.total_cell_edges, comb_inputs);
+    }
+}

@@ -1,0 +1,568 @@
+//! The netlist-restructuring transforms.
+
+use std::error::Error;
+use std::fmt;
+
+use rtt_netlist::{
+    CellId, CellLibrary, GateFn, NetId, Netlist, NetlistError, PinId,
+};
+use rtt_place::{Placement, Point};
+
+/// Errors raised by optimizer transforms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// Underlying netlist mutation failed.
+    Netlist(NetlistError),
+    /// The transform does not apply to this element.
+    NotApplicable(&'static str),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Netlist(e) => write!(f, "netlist mutation failed: {e}"),
+            Self::NotApplicable(why) => write!(f, "transform not applicable: {why}"),
+        }
+    }
+}
+
+impl Error for TransformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            Self::NotApplicable(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TransformError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+/// Disconnects `sink` from `net`, removing the net if it becomes empty.
+fn disconnect_and_prune(nl: &mut Netlist, net: NetId, sink: PinId) -> Result<(), NetlistError> {
+    nl.disconnect_sink(net, sink)?;
+    if nl.net(net).is_alive() && nl.net(net).sinks.is_empty() {
+        nl.remove_net(net)?;
+    }
+    Ok(())
+}
+
+/// Inserts a buffer between `net`'s driver and one `sink`, at `pos`.
+///
+/// The sink's direct driver changes, so the original net edge
+/// `(driver, sink)` counts as *replaced* in the Table I statistics; the
+/// net's other sinks are untouched.
+///
+/// Returns the new buffer cell (already placed at `pos`).
+///
+/// # Errors
+///
+/// Fails if `sink` is not a sink of `net` or the library has no buffer.
+pub fn insert_buffer(
+    nl: &mut Netlist,
+    placement: &mut Placement,
+    library: &CellLibrary,
+    net: NetId,
+    sink: PinId,
+    pos: Point,
+) -> Result<CellId, TransformError> {
+    if !nl.net(net).is_alive() || !nl.net(net).sinks.contains(&sink) {
+        return Err(TransformError::NotApplicable("sink is not on this net"));
+    }
+    let buf_ty = library
+        .pick(GateFn::Buf, 4)
+        .or_else(|| library.variants(GateFn::Buf).last().copied())
+        .ok_or(TransformError::NotApplicable("library has no buffer"))?;
+    let name = format!("opt_buf{}", nl.cell_capacity());
+    let (buf, buf_out) = nl.add_cell(name, buf_ty, library);
+    let buf_in = nl.cell(buf).inputs[0];
+    nl.disconnect_sink(net, sink)?;
+    nl.add_sink(net, buf_in)?;
+    nl.connect_net(format!("opt_n{}", nl.net_capacity()), buf_out, &[sink])?;
+    placement.place_cell(buf, pos);
+    Ok(buf)
+}
+
+/// Decomposes a 3- or 4-input AND/OR gate into a chain of 2-input gates.
+///
+/// `inputs_by_arrival` lists the cell's input pins from earliest to latest
+/// arrival; the chain is built so the latest signal passes through a single
+/// 2-input gate — the timing-driven decomposition of commercial optimizers.
+/// The original cell is removed (its cell edges and its output net's net
+/// edges count as replaced); new gates are placed at the original position.
+///
+/// Returns the new cells, first (deepest) to last (driving the output).
+///
+/// # Errors
+///
+/// Fails if the gate is not a decomposable AND3/AND4/OR3/OR4, if any pin is
+/// unconnected, or if `inputs_by_arrival` does not cover the inputs.
+pub fn decompose_gate(
+    nl: &mut Netlist,
+    placement: &mut Placement,
+    library: &CellLibrary,
+    cell: CellId,
+    inputs_by_arrival: &[PinId],
+) -> Result<Vec<CellId>, TransformError> {
+    if !nl.cell(cell).is_alive() {
+        return Err(TransformError::NotApplicable("cell already removed"));
+    }
+    let ty = library.cell_type(nl.cell(cell).type_id);
+    let two_input = match ty.gate {
+        GateFn::And3 | GateFn::And4 => GateFn::And2,
+        GateFn::Or3 | GateFn::Or4 => GateFn::Or2,
+        _ => return Err(TransformError::NotApplicable("gate is not AND3/AND4/OR3/OR4")),
+    };
+    let drive = ty.drive;
+    let k = ty.num_inputs();
+    {
+        let ins = &nl.cell(cell).inputs;
+        if inputs_by_arrival.len() != k
+            || !inputs_by_arrival.iter().all(|p| ins.contains(p))
+        {
+            return Err(TransformError::NotApplicable("input order must cover the inputs"));
+        }
+    }
+    let out_pin = nl.cell(cell).output;
+    let out_net = nl
+        .pin(out_pin)
+        .net
+        .ok_or(TransformError::NotApplicable("output is unconnected"))?;
+
+    // Source net of each input, in arrival order.
+    let mut sources = Vec::with_capacity(k);
+    for &p in inputs_by_arrival {
+        let src = nl
+            .pin(p)
+            .net
+            .ok_or(TransformError::NotApplicable("input is unconnected"))?;
+        sources.push(src);
+    }
+
+    // Detach the original cell completely first.
+    for &p in inputs_by_arrival {
+        let src = nl.pin(p).net.expect("checked above");
+        nl.disconnect_sink(src, p)?;
+    }
+    let out_sinks = nl.net(out_net).sinks.clone();
+    nl.remove_net(out_net)?;
+
+    // Build the chain: g0 = f(src0, src1); g_i = f(g_{i-1}, src_{i+1}).
+    let ty2 = library
+        .pick(two_input, drive)
+        .or_else(|| library.variants(two_input).last().copied())
+        .ok_or(TransformError::NotApplicable("library has no 2-input variant"))?;
+    let base_pos = placement.cell_pos(cell);
+    let mut new_cells = Vec::with_capacity(k - 1);
+    let mut prev_out: Option<PinId> = None;
+    for i in 0..k - 1 {
+        let name = format!("opt_dec{}", nl.cell_capacity());
+        let (c, o) = nl.add_cell(name, ty2, library);
+        let (i0, i1) = (nl.cell(c).inputs[0], nl.cell(c).inputs[1]);
+        match prev_out {
+            None => {
+                nl.add_sink(sources[0], i0)?;
+                nl.add_sink(sources[1], i1)?;
+            }
+            Some(po) => {
+                nl.connect_net(format!("opt_n{}", nl.net_capacity()), po, &[i0])?;
+                nl.add_sink(sources[i + 1], i1)?;
+            }
+        }
+        // Spread the chain slightly so the cells are not perfectly stacked.
+        let jitter = 0.4 * (i as f32 + 1.0);
+        placement.place_cell(
+            c,
+            placement
+                .floorplan()
+                .die
+                .clamp(Point::new(base_pos.x + jitter, base_pos.y)),
+        );
+        prev_out = Some(o);
+        new_cells.push(c);
+    }
+    let last_out = prev_out.expect("k >= 3 creates at least one gate");
+    nl.connect_net(format!("opt_n{}", nl.net_capacity()), last_out, &out_sinks)?;
+
+    nl.remove_cell(cell)?;
+    Ok(new_cells)
+}
+
+/// Bypasses and removes a buffer: its fanout is reconnected to its input
+/// net and the cell disappears.
+///
+/// # Errors
+///
+/// Fails if `cell` is not a live buffer or its pins are unconnected.
+pub fn bypass_repeater(nl: &mut Netlist, library: &CellLibrary, cell: CellId) -> Result<(), TransformError> {
+    if !nl.cell(cell).is_alive() {
+        return Err(TransformError::NotApplicable("cell already removed"));
+    }
+    if library.cell_type(nl.cell(cell).type_id).gate != GateFn::Buf {
+        return Err(TransformError::NotApplicable("cell is not a buffer"));
+    }
+    let in_pin = nl.cell(cell).inputs[0];
+    let out_pin = nl.cell(cell).output;
+    let in_net = nl
+        .pin(in_pin)
+        .net
+        .ok_or(TransformError::NotApplicable("buffer input unconnected"))?;
+    if let Some(out_net) = nl.pin(out_pin).net {
+        let sinks = nl.net(out_net).sinks.clone();
+        nl.remove_net(out_net)?;
+        for s in sinks {
+            nl.add_sink(in_net, s)?;
+        }
+    }
+    disconnect_and_prune(nl, in_net, in_pin)?;
+    nl.remove_cell(cell)?;
+    Ok(())
+}
+
+/// Bypasses a back-to-back inverter pair `first -> second` (logic identity):
+/// the second inverter's fanout reconnects to the first inverter's input
+/// net and both cells disappear.
+///
+/// # Errors
+///
+/// Fails unless `first` drives only `second`, both are inverters, and all
+/// pins are connected.
+pub fn bypass_inverter_pair(
+    nl: &mut Netlist,
+    library: &CellLibrary,
+    first: CellId,
+    second: CellId,
+) -> Result<(), TransformError> {
+    for c in [first, second] {
+        if !nl.cell(c).is_alive() {
+            return Err(TransformError::NotApplicable("cell already removed"));
+        }
+        if library.cell_type(nl.cell(c).type_id).gate != GateFn::Inv {
+            return Err(TransformError::NotApplicable("cell is not an inverter"));
+        }
+    }
+    let mid_net = nl
+        .pin(nl.cell(first).output)
+        .net
+        .ok_or(TransformError::NotApplicable("pair is not connected"))?;
+    let second_in = nl.cell(second).inputs[0];
+    if nl.net(mid_net).sinks != [second_in] {
+        return Err(TransformError::NotApplicable("first inverter has other fanout"));
+    }
+    let src_pin = nl.cell(first).inputs[0];
+    let src_net = nl
+        .pin(src_pin)
+        .net
+        .ok_or(TransformError::NotApplicable("first inverter input unconnected"))?;
+
+    // Move the second inverter's fanout to the source net.
+    if let Some(out_net) = nl.pin(nl.cell(second).output).net {
+        let sinks = nl.net(out_net).sinks.clone();
+        nl.remove_net(out_net)?;
+        for s in sinks {
+            nl.add_sink(src_net, s)?;
+        }
+    }
+    nl.remove_net(mid_net)?;
+    disconnect_and_prune(nl, src_net, src_pin)?;
+    nl.remove_cell(first)?;
+    nl.remove_cell(second)?;
+    Ok(())
+}
+
+/// Splits a high-fanout net by moving groups of its farthest sinks behind
+/// buffers (the max-fanout DRV fix of commercial flows).
+///
+/// Each inserted buffer is placed at the centroid of its sink group; the
+/// `legal` callback may veto a position (density/macro check) which stops
+/// the splitting early. Returns the inserted buffers.
+///
+/// # Errors
+///
+/// Fails if the net is dead or the library has no buffer.
+pub fn split_high_fanout(
+    nl: &mut Netlist,
+    placement: &mut Placement,
+    library: &CellLibrary,
+    net: NetId,
+    max_fanout: usize,
+    mut legal: impl FnMut(Point, f32) -> bool,
+) -> Result<Vec<CellId>, TransformError> {
+    if !nl.net(net).is_alive() {
+        return Err(TransformError::NotApplicable("net is dead"));
+    }
+    let buf_ty = library
+        .pick(GateFn::Buf, 4)
+        .or_else(|| library.variants(GateFn::Buf).last().copied())
+        .ok_or(TransformError::NotApplicable("library has no buffer"))?;
+    let buf_area = library.cell_type(buf_ty).area_um2;
+    let max_fanout = max_fanout.max(2);
+    let mut inserted = Vec::new();
+
+    while nl.net(net).sinks.len() > max_fanout {
+        // Farthest sinks first: they benefit most from a repeater.
+        let driver_pos = {
+            let d = nl.net(net).driver;
+            placement.pin_position(nl, d)
+        };
+        let mut sinks: Vec<(PinId, f32)> = nl
+            .net(net)
+            .sinks
+            .iter()
+            .map(|&s| (s, driver_pos.manhattan(placement.pin_position(nl, s))))
+            .collect();
+        sinks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+        let group: Vec<PinId> = sinks.iter().take(max_fanout).map(|(s, _)| *s).collect();
+        let centroid = {
+            let (mut x, mut y) = (0.0f32, 0.0f32);
+            for &s in &group {
+                let p = placement.pin_position(nl, s);
+                x += p.x;
+                y += p.y;
+            }
+            let n = group.len() as f32;
+            placement.floorplan().die.clamp(Point::new(x / n, y / n))
+        };
+        if !legal(centroid, buf_area) {
+            break; // no room: leave the remaining fanout in place
+        }
+        let name = format!("opt_fbuf{}", nl.cell_capacity());
+        let (buf, buf_out) = nl.add_cell(name, buf_ty, library);
+        let buf_in = nl.cell(buf).inputs[0];
+        for &s in &group {
+            nl.disconnect_sink(net, s)?;
+        }
+        nl.add_sink(net, buf_in)?;
+        nl.connect_net(format!("opt_fn{}", nl.net_capacity()), buf_out, &group)?;
+        placement.place_cell(buf, centroid);
+        inserted.push(buf);
+    }
+    Ok(inserted)
+}
+
+/// Removes combinational cells whose output drives nothing, cascading to
+/// newly-orphaned fanin logic (dead-logic sweep after restructuring).
+///
+/// Returns the number of cells removed.
+pub fn prune_dangling(nl: &mut Netlist, library: &CellLibrary) -> usize {
+    let mut removed = 0;
+    loop {
+        let dangling: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| {
+                !library.cell_type(c.type_id).is_sequential()
+                    && nl.pin(c.output).net.is_none()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if dangling.is_empty() {
+            return removed;
+        }
+        for cid in dangling {
+            let inputs = nl.cell(cid).inputs.clone();
+            for p in inputs {
+                if let Some(net) = nl.pin(p).net {
+                    disconnect_and_prune(nl, net, p).expect("pin is on its net");
+                }
+            }
+            nl.remove_cell(cid).expect("fully disconnected");
+            removed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_circgen::ripple_carry_adder;
+    use rtt_place::{place, PlaceConfig};
+    use rtt_netlist::TimingGraph;
+
+    fn world() -> (CellLibrary, Netlist, Placement) {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(4, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        (lib, nl, pl)
+    }
+
+    #[test]
+    fn buffer_insertion_preserves_validity_and_reach() {
+        let (lib, mut nl, mut pl) = world();
+        let (net, sink) = {
+            let (nid, n) = nl.nets().find(|(_, n)| n.sinks.len() == 1).unwrap();
+            (nid, n.sinks[0])
+        };
+        let cells_before = nl.num_cells();
+        let buf = insert_buffer(&mut nl, &mut pl, &lib, net, sink, Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(nl.num_cells(), cells_before + 1);
+        nl.validate().unwrap();
+        // The sink is now driven by the buffer.
+        let new_net = nl.pin(sink).net.unwrap();
+        assert_eq!(nl.net(new_net).driver, nl.cell(buf).output);
+        // Graph still acyclic.
+        TimingGraph::try_build(&nl, &lib).unwrap();
+    }
+
+    #[test]
+    fn buffer_insertion_on_foreign_sink_fails() {
+        let (lib, mut nl, mut pl) = world();
+        let (net_a, _) = nl.nets().next().unwrap();
+        let other_sink = nl
+            .nets()
+            .find(|(nid, _)| *nid != net_a)
+            .map(|(_, n)| n.sinks[0])
+            .unwrap();
+        let r = insert_buffer(&mut nl, &mut pl, &lib, net_a, other_sink, Point::default());
+        assert!(matches!(r, Err(TransformError::NotApplicable(_))));
+    }
+
+    #[test]
+    fn decompose_and4_builds_a_chain() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("d");
+        let ports: Vec<_> = (0..4).map(|i| nl.add_input_port(format!("i{i}"))).collect();
+        let and4 = lib.pick(GateFn::And4, 2).unwrap();
+        let (c, o) = nl.add_cell("u", and4, &lib);
+        let ins = nl.cell(c).inputs.clone();
+        for (k, (&p, &i)) in ports.iter().zip(ins.iter()).enumerate() {
+            nl.connect_net(format!("n{k}"), p, &[i]).unwrap();
+        }
+        let y = nl.add_output_port("y");
+        nl.connect_net("ny", o, &[y]).unwrap();
+        let mut pl = place(&nl, &lib, 0, &PlaceConfig::default());
+
+        let new_cells = decompose_gate(&mut nl, &mut pl, &lib, c, &ins).unwrap();
+        assert_eq!(new_cells.len(), 3);
+        nl.validate().unwrap();
+        assert!(!nl.cell(c).is_alive());
+        // All new gates are AND2 at the original drive strength.
+        for &nc in &new_cells {
+            let t = lib.cell_type(nl.cell(nc).type_id);
+            assert_eq!(t.gate, GateFn::And2);
+            assert_eq!(t.drive, 2);
+        }
+        // The output port is now driven by the last gate in the chain.
+        let ny = nl.pin(y).net.unwrap();
+        assert_eq!(nl.net(ny).driver, nl.cell(*new_cells.last().unwrap()).output);
+        // The latest-arrival input (last in order) feeds the last gate.
+        let last_in = ins[3];
+        let _ = last_in; // arrival ordering is the caller's responsibility
+        let g = TimingGraph::try_build(&nl, &lib).unwrap();
+        assert!(g.num_nodes() > 0);
+    }
+
+    #[test]
+    fn decompose_rejects_bad_targets() {
+        let (lib, mut nl, mut pl) = world();
+        // XOR gates must be rejected.
+        let (xor, _) = nl
+            .cells()
+            .find(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Xor2)
+            .unwrap();
+        let ins = nl.cell(xor).inputs.clone();
+        assert!(matches!(
+            decompose_gate(&mut nl, &mut pl, &lib, xor, &ins),
+            Err(TransformError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn bypass_buffer_rewires_fanout() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("b");
+        let a = nl.add_input_port("a");
+        let buf = lib.pick(GateFn::Buf, 1).unwrap();
+        let (c, o) = nl.add_cell("u", buf, &lib);
+        let i = nl.cell(c).inputs[0];
+        nl.connect_net("ni", a, &[i]).unwrap();
+        let y = nl.add_output_port("y");
+        let z = nl.add_output_port("z");
+        nl.connect_net("no", o, &[y, z]).unwrap();
+
+        bypass_repeater(&mut nl, &lib, c).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.num_cells(), 0);
+        // y and z are now driven directly by port a.
+        let na = nl.pin(a).net.unwrap();
+        assert!(nl.net(na).sinks.contains(&y));
+        assert!(nl.net(na).sinks.contains(&z));
+    }
+
+    #[test]
+    fn bypass_rejects_non_buffers() {
+        let (lib, mut nl, _) = world();
+        let (xor, _) = nl
+            .cells()
+            .find(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Xor2)
+            .unwrap();
+        assert!(matches!(
+            bypass_repeater(&mut nl, &lib, xor),
+            Err(TransformError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn inverter_pair_collapse() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("ii");
+        let a = nl.add_input_port("a");
+        let inv = lib.pick(GateFn::Inv, 1).unwrap();
+        let (c1, o1) = nl.add_cell("i1", inv, &lib);
+        let (c2, o2) = nl.add_cell("i2", inv, &lib);
+        let (p1, p2) = (nl.cell(c1).inputs[0], nl.cell(c2).inputs[0]);
+        nl.connect_net("n0", a, &[p1]).unwrap();
+        nl.connect_net("n1", o1, &[p2]).unwrap();
+        let y = nl.add_output_port("y");
+        nl.connect_net("n2", o2, &[y]).unwrap();
+
+        bypass_inverter_pair(&mut nl, &lib, c1, c2).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.num_cells(), 0);
+        let na = nl.pin(a).net.unwrap();
+        assert_eq!(nl.net(na).sinks, vec![y]);
+    }
+
+    #[test]
+    fn inverter_pair_requires_exclusive_fanout() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("ii2");
+        let a = nl.add_input_port("a");
+        let inv = lib.pick(GateFn::Inv, 1).unwrap();
+        let (c1, o1) = nl.add_cell("i1", inv, &lib);
+        let (c2, _) = nl.add_cell("i2", inv, &lib);
+        let (p1, p2) = (nl.cell(c1).inputs[0], nl.cell(c2).inputs[0]);
+        nl.connect_net("n0", a, &[p1]).unwrap();
+        let extra = nl.add_output_port("e");
+        nl.connect_net("n1", o1, &[p2, extra]).unwrap();
+        assert!(matches!(
+            bypass_inverter_pair(&mut nl, &lib, c1, c2),
+            Err(TransformError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn prune_removes_dead_cones() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = Netlist::new("pr");
+        let a = nl.add_input_port("a");
+        let b = nl.add_input_port("b");
+        let and2 = lib.pick(GateFn::And2, 1).unwrap();
+        let inv = lib.pick(GateFn::Inv, 1).unwrap();
+        // a,b -> AND -> INV -> (nothing)
+        let (c_and, o_and) = nl.add_cell("u0", and2, &lib);
+        let (c_inv, _o_inv) = nl.add_cell("u1", inv, &lib);
+        let (ai, bi) = (nl.cell(c_and).inputs[0], nl.cell(c_and).inputs[1]);
+        let ii = nl.cell(c_inv).inputs[0];
+        nl.connect_net("na", a, &[ai]).unwrap();
+        nl.connect_net("nb", b, &[bi]).unwrap();
+        nl.connect_net("nx", o_and, &[ii]).unwrap();
+        let removed = prune_dangling(&mut nl, &lib);
+        assert_eq!(removed, 2);
+        assert_eq!(nl.num_cells(), 0);
+        // Input ports lose their nets too.
+        assert!(nl.pin(a).net.is_none());
+    }
+}

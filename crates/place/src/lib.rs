@@ -1,0 +1,36 @@
+//! Placement substrate: floorplanning, macro placement, global placement.
+//!
+//! The paper takes placements from Cadence Innovus; this crate provides the
+//! simulated equivalent. It computes a die from the design's total cell area
+//! and a target utilization, carves out macro blocks, runs a seeded
+//! force-directed global placement with bin-based spreading, and pins the
+//! top-level ports to the die boundary. The resulting [`Placement`] is the
+//! sole geometric input to routing, feature extraction (density/RUDY/macro
+//! maps), and the layout-legality checks of the timing optimizer.
+//!
+//! # Example
+//!
+//! ```
+//! use rtt_netlist::CellLibrary;
+//! use rtt_circgen::ripple_carry_adder;
+//! use rtt_place::{place, PlaceConfig};
+//!
+//! let lib = CellLibrary::asap7_like();
+//! let nl = ripple_carry_adder(4, &lib);
+//! let placement = place(&nl, &lib, 0, &PlaceConfig::default());
+//! let (c, _) = nl.cells().next().expect("adder has cells");
+//! let p = placement.cell_pos(c);
+//! assert!(placement.floorplan().die.contains(p));
+//! ```
+
+#![warn(missing_docs)]
+
+mod floorplan;
+mod grid;
+mod io;
+mod placer;
+
+pub use floorplan::{Floorplan, Point, Rect};
+pub use grid::Grid;
+pub use io::{parse_placement, write_placement, PlacementIoError};
+pub use placer::{density_map, place, PlaceConfig, Placement};

@@ -1,0 +1,213 @@
+//! RC trees and Elmore delay.
+//!
+//! The classic first-moment delay model of Rubinstein–Penfield–Horowitz
+//! (the paper's reference \[1\]): for a tree of resistive segments with
+//! distributed capacitance, the delay from the root to node *i* is
+//!
+//! ```text
+//! t_i = Σ_{e ∈ path(root, i)} R_e · C_downstream(e)
+//! ```
+//!
+//! where `C_downstream(e)` is all capacitance at or below the far end of
+//! `e`, plus half of `e`'s own wire capacitance (π-model).
+
+/// An RC tree rooted at node 0.
+///
+/// Node 0 is the driver; every other node has exactly one parent edge.
+#[derive(Clone, Debug, Default)]
+pub struct RcTree {
+    /// `parent[i]` for node `i > 0`; `parent[0]` is unused (root).
+    parent: Vec<usize>,
+    /// Resistance of the edge into node `i` from its parent, kΩ.
+    edge_res: Vec<f32>,
+    /// Wire capacitance of the edge into node `i`, fF.
+    edge_cap: Vec<f32>,
+    /// Lumped load (pin) capacitance at node `i`, fF.
+    node_cap: Vec<f32>,
+}
+
+impl RcTree {
+    /// Creates a tree with `n` nodes and no edges yet.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            parent: vec![usize::MAX; n],
+            edge_res: vec![0.0; n],
+            edge_cap: vec![0.0; n],
+            node_cap: vec![0.0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Sets the parent edge of node `child`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is 0 (the root has no parent) or out of range.
+    pub fn set_edge(&mut self, parent: usize, child: usize, res_kohm: f32, cap_ff: f32) {
+        assert!(child != 0, "root has no parent edge");
+        assert!(child < self.parent.len() && parent < self.parent.len());
+        self.parent[child] = parent;
+        self.edge_res[child] = res_kohm;
+        self.edge_cap[child] = cap_ff;
+    }
+
+    /// Adds lumped (pin) capacitance at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn add_node_cap(&mut self, node: usize, cap_ff: f32) {
+        self.node_cap[node] += cap_ff;
+    }
+
+    /// Total capacitance seen from the root (wire + pins), fF. This is the
+    /// load that enters the driving cell's delay.
+    pub fn total_cap(&self) -> f32 {
+        self.edge_cap.iter().sum::<f32>() + self.node_cap.iter().sum::<f32>()
+    }
+}
+
+/// Computes the Elmore delay in ps from the root to every node.
+///
+/// With resistances in kΩ and capacitances in fF, the product is directly
+/// in picoseconds.
+///
+/// # Panics
+///
+/// Panics if a non-root node has no parent edge set.
+pub fn elmore_delays(tree: &RcTree) -> Vec<f32> {
+    let n = tree.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Downstream capacitance per node: node cap + half of own edge cap +
+    // children contributions (their full subtree + their full edge cap).
+    // Process children before parents; nodes are in arbitrary order so we
+    // compute an ordering by repeatedly following parents (tree depth).
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut depth = vec![0u32; n];
+    for i in 1..n {
+        let mut d = 0;
+        let mut v = i;
+        while v != 0 {
+            assert!(tree.parent[v] != usize::MAX, "node {v} has no parent edge");
+            v = tree.parent[v];
+            d += 1;
+            assert!(d as usize <= n, "parent cycle in RC tree");
+        }
+        depth[i] = d;
+    }
+    order.sort_unstable_by_key(|&i| std::cmp::Reverse(depth[i]));
+
+    // subtree_cap[i]: all cap at or below i, including i's node cap, all of
+    // i's children's edge caps, and half of i's own edge cap (the far half
+    // of the π-model).
+    let mut subtree = tree.node_cap.clone();
+    for &i in &order {
+        if i == 0 {
+            continue;
+        }
+        subtree[i] += tree.edge_cap[i] * 0.5;
+        let p = tree.parent[i];
+        subtree[p] += subtree[i] + tree.edge_cap[i] * 0.5;
+    }
+
+    // delay[i] = delay[parent] + R_edge(i) * (subtree cap below the edge).
+    let mut delay = vec![0.0f32; n];
+    let mut by_depth: Vec<usize> = (0..n).collect();
+    by_depth.sort_unstable_by_key(|&i| depth[i]);
+    for &i in &by_depth {
+        if i == 0 {
+            continue;
+        }
+        let p = tree.parent[i];
+        delay[i] = delay[p] + tree.edge_res[i] * subtree[i];
+    }
+    delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_matches_hand_calculation() {
+        // Root --(R=2kΩ, Cw=4fF)--> sink with 1 fF pin cap.
+        // Elmore = R * (Cw/2 + Cpin) = 2 * (2 + 1) = 6 ps.
+        let mut t = RcTree::with_nodes(2);
+        t.set_edge(0, 1, 2.0, 4.0);
+        t.add_node_cap(1, 1.0);
+        let d = elmore_delays(&t);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - 6.0).abs() < 1e-5);
+        assert!((t.total_cap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_accumulates() {
+        // 0 -(1k,2f)- 1 -(1k,2f)- 2, pin caps 1f at each of 1 and 2.
+        // subtree(2) = 1 + 1 = 2 ; delay(2 edge) part...
+        // subtree(1) = 1 + 1 + (2 + 1 + 1) = wait, compute:
+        //  node2: cap 1 + half edge 1 = 2 ; contributes to 1: 2 + 1 = 3
+        //  node1: cap 1 + half edge 1 + 3 = 5
+        //  delay1 = 1k * 5f = 5 ps ; delay2 = 5 + 1k * 2f = 7 ps
+        let mut t = RcTree::with_nodes(3);
+        t.set_edge(0, 1, 1.0, 2.0);
+        t.set_edge(1, 2, 1.0, 2.0);
+        t.add_node_cap(1, 1.0);
+        t.add_node_cap(2, 1.0);
+        let d = elmore_delays(&t);
+        assert!((d[1] - 5.0).abs() < 1e-5, "{d:?}");
+        assert!((d[2] - 7.0).abs() < 1e-5, "{d:?}");
+    }
+
+    #[test]
+    fn branch_delays_are_independent_downstream() {
+        // Star: two sinks off the root; each only sees its own RC.
+        let mut t = RcTree::with_nodes(3);
+        t.set_edge(0, 1, 1.0, 2.0);
+        t.set_edge(0, 2, 3.0, 2.0);
+        t.add_node_cap(1, 1.0);
+        t.add_node_cap(2, 1.0);
+        let d = elmore_delays(&t);
+        assert!((d[1] - 1.0 * 2.0).abs() < 1e-5);
+        assert!((d[2] - 3.0 * 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn monotonic_along_paths() {
+        let mut t = RcTree::with_nodes(5);
+        t.set_edge(0, 1, 0.5, 1.0);
+        t.set_edge(1, 2, 0.5, 1.0);
+        t.set_edge(1, 3, 0.2, 0.5);
+        t.set_edge(3, 4, 0.9, 2.0);
+        for i in 1..5 {
+            t.add_node_cap(i, 0.8);
+        }
+        let d = elmore_delays(&t);
+        assert!(d[2] > d[1]);
+        assert!(d[3] > d[1]);
+        assert!(d[4] > d[3]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        assert!(elmore_delays(&RcTree::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no parent edge")]
+    fn missing_parent_panics() {
+        let t = RcTree::with_nodes(2);
+        let _ = elmore_delays(&t);
+    }
+}

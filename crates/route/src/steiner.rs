@@ -1,0 +1,128 @@
+//! Rectilinear spanning-tree topology generation.
+
+use rtt_place::Point;
+
+/// Builds a rectilinear minimum spanning tree over `points` with Prim's
+/// algorithm under Manhattan distance.
+///
+/// Returns tree edges as index pairs `(parent, child)` such that index 0
+/// (the net driver by convention) is the root and every other point appears
+/// exactly once as a child. An RMST is a ≤1.5× approximation of the
+/// rectilinear Steiner minimum tree, which is accurate enough for an
+/// academic routing estimator.
+///
+/// Returns an empty vector for fewer than two points.
+pub fn rectilinear_mst(points: &[Point]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f32::INFINITY; n];
+    let mut best_parent = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = points[0].manhattan(points[j]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        // Cheapest frontier vertex.
+        let mut v = usize::MAX;
+        let mut vd = f32::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < vd {
+                vd = best_dist[j];
+                v = j;
+            }
+        }
+        debug_assert_ne!(v, usize::MAX, "graph is complete; frontier never empty");
+        in_tree[v] = true;
+        edges.push((best_parent[v], v));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[v].manhattan(points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_parent[j] = v;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total Manhattan length of a tree produced by [`rectilinear_mst`].
+pub fn tree_length(points: &[Point], edges: &[(usize, usize)]) -> f32 {
+    edges.iter().map(|&(a, b)| points[a].manhattan(points[b])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pts(coords: &[(f32, f32)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn two_pin_net_is_a_single_edge() {
+        let p = pts(&[(0.0, 0.0), (3.0, 4.0)]);
+        let e = rectilinear_mst(&p);
+        assert_eq!(e, vec![(0, 1)]);
+        assert_eq!(tree_length(&p, &e), 7.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(rectilinear_mst(&[]).is_empty());
+        assert!(rectilinear_mst(&pts(&[(1.0, 1.0)])).is_empty());
+    }
+
+    #[test]
+    fn collinear_points_chain() {
+        let p = pts(&[(0.0, 0.0), (10.0, 0.0), (5.0, 0.0)]);
+        let e = rectilinear_mst(&p);
+        // Optimal chain: 0-2-1, total length 10 (not 0-1 + 0-2 = 15).
+        assert_eq!(tree_length(&p, &e), 10.0);
+    }
+
+    #[test]
+    fn star_topology_for_central_driver() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let e = rectilinear_mst(&p);
+        assert_eq!(e.len(), 4);
+        assert_eq!(tree_length(&p, &e), 4.0);
+    }
+
+    proptest! {
+        #[test]
+        fn tree_spans_all_points(
+            coords in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 2..24)
+        ) {
+            let p = pts(&coords);
+            let e = rectilinear_mst(&p);
+            prop_assert_eq!(e.len(), p.len() - 1);
+            // Every non-root appears exactly once as a child; parents precede
+            // children in insertion order (rooted tree).
+            let mut seen = vec![false; p.len()];
+            seen[0] = true;
+            for &(a, b) in &e {
+                prop_assert!(seen[a], "parent not yet in tree");
+                prop_assert!(!seen[b], "child added twice");
+                seen[b] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn mst_no_longer_than_star(
+            coords in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 2..24)
+        ) {
+            let p = pts(&coords);
+            let e = rectilinear_mst(&p);
+            let star: f32 = (1..p.len()).map(|j| p[0].manhattan(p[j])).sum();
+            prop_assert!(tree_length(&p, &e) <= star + 1e-3);
+        }
+    }
+}

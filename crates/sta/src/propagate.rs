@@ -1,0 +1,509 @@
+//! Arrival-time propagation.
+
+use std::collections::HashMap;
+
+use rtt_netlist::{
+    CellLibrary, EdgeKind, Netlist, PinDir, PinId, TimingEdge, TimingGraph,
+};
+use rtt_place::Placement;
+use rtt_route::Routing;
+
+/// Where wire delays and loads come from.
+#[derive(Clone, Copy, Debug)]
+pub enum WireModel<'a> {
+    /// Placement-only estimate: per-sink Manhattan wire treated as an
+    /// isolated RC line (the classic pre-routing Elmore model).
+    PreRoute(&'a Placement),
+    /// Sign-off mode: delays and loads from the routed RC trees.
+    Routed(&'a Routing),
+}
+
+/// Generic PERT traversal: computes the arrival time of every node given a
+/// per-edge delay function and a per-source launch time function.
+///
+/// This is shared by the real STA (physical delays) and by the local-view
+/// baselines, which re-assemble *predicted* local delays into endpoint
+/// arrivals exactly this way.
+pub fn propagate<D, S>(graph: &TimingGraph, mut edge_delay: D, mut source_time: S) -> Vec<f32>
+where
+    D: FnMut(&TimingEdge) -> f32,
+    S: FnMut(u32) -> f32,
+{
+    let mut arrival = vec![0.0f32; graph.num_nodes()];
+    for v in graph.topo_order() {
+        let mut best = f32::NEG_INFINITY;
+        for e in graph.fanin(v) {
+            let a = arrival[e.from as usize] + edge_delay(e);
+            if a > best {
+                best = a;
+            }
+        }
+        arrival[v as usize] = if best == f32::NEG_INFINITY { source_time(v) } else { best };
+    }
+    arrival
+}
+
+/// Min-delay counterpart of [`propagate`]: earliest arrival per node (the
+/// forward pass of hold-time analysis).
+pub fn propagate_min<D, S>(graph: &TimingGraph, mut edge_delay: D, mut source_time: S) -> Vec<f32>
+where
+    D: FnMut(&TimingEdge) -> f32,
+    S: FnMut(u32) -> f32,
+{
+    let mut arrival = vec![0.0f32; graph.num_nodes()];
+    for v in graph.topo_order() {
+        let mut best = f32::INFINITY;
+        for e in graph.fanin(v) {
+            let a = arrival[e.from as usize] + edge_delay(e);
+            if a < best {
+                best = a;
+            }
+        }
+        arrival[v as usize] = if best == f32::INFINITY { source_time(v) } else { best };
+    }
+    arrival
+}
+
+/// Runs sign-off or pre-routing STA and assembles an [`crate::StaReport`].
+///
+/// Flip-flop outputs launch at the cell's intrinsic (clock-to-Q) delay;
+/// primary inputs launch at time 0.
+pub fn run_sta(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    graph: &TimingGraph,
+    wire: WireModel<'_>,
+    clock_period_ps: f32,
+) -> crate::StaReport {
+    // Per-driver output load (for the cell delay model).
+    let load_of = |driver: PinId| -> f32 {
+        let Some(net_id) = netlist.pin(driver).net else { return 0.0 };
+        match wire {
+            WireModel::Routed(routing) => {
+                routing.net(net_id).map_or(0.0, |rn| rn.total_cap_ff)
+            }
+            WireModel::PreRoute(placement) => {
+                let net = netlist.net(net_id);
+                let d = placement.pin_position(netlist, driver);
+                let cfg = rtt_route::RouteConfig::default();
+                net.sinks
+                    .iter()
+                    .map(|&s| {
+                        let len = d.manhattan(placement.pin_position(netlist, s));
+                        len * cfg.unit_cap_ff_per_um + sink_cap(netlist, library, s)
+                    })
+                    .sum()
+            }
+        }
+    };
+
+    let edge_delay = |e: &TimingEdge| -> f32 {
+        match e.kind {
+            EdgeKind::Net => {
+                let driver = graph.pin_of(e.from);
+                let sink = graph.pin_of(e.to);
+                match wire {
+                    WireModel::Routed(routing) => e
+                        .net
+                        .and_then(|nid| routing.net(nid))
+                        .and_then(|rn| rn.sink_delay(sink))
+                        .unwrap_or(0.0),
+                    WireModel::PreRoute(placement) => {
+                        let cfg = rtt_route::RouteConfig::default();
+                        let len = placement
+                            .pin_position(netlist, driver)
+                            .manhattan(placement.pin_position(netlist, sink));
+                        let r = len * cfg.unit_res_kohm_per_um;
+                        let c = len * cfg.unit_cap_ff_per_um;
+                        r * (c * 0.5 + sink_cap(netlist, library, sink))
+                    }
+                }
+            }
+            EdgeKind::Cell => {
+                let cell = e.cell.expect("cell edges carry their cell");
+                let ty = library.cell_type(netlist.cell(cell).type_id);
+                let out = netlist.cell(cell).output;
+                ty.intrinsic_ps + ty.drive_res_kohm * load_of(out)
+            }
+        }
+    };
+
+    let source_time = |v: u32| -> f32 {
+        let pin = netlist.pin(graph.pin_of(v));
+        match (pin.cell, pin.dir) {
+            // Flip-flop Q pin: clock-to-Q launch.
+            (Some(c), PinDir::Drive) => {
+                let ty = library.cell_type(netlist.cell(c).type_id);
+                if ty.is_sequential() {
+                    ty.intrinsic_ps
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
+    };
+
+    let mut edge_delay_cache: HashMap<(PinId, PinId), f32> = HashMap::new();
+    let arrival_nodes = propagate(
+        graph,
+        |e| {
+            let d = edge_delay(e);
+            edge_delay_cache.insert((graph.pin_of(e.from), graph.pin_of(e.to)), d);
+            d
+        },
+        source_time,
+    );
+
+    // Split the cache by edge kind.
+    let mut net_edge_delay = HashMap::new();
+    let mut cell_edge_delay = HashMap::new();
+    for e in graph.edges() {
+        let key = (graph.pin_of(e.from), graph.pin_of(e.to));
+        let d = edge_delay_cache[&key];
+        match e.kind {
+            EdgeKind::Net => net_edge_delay.insert(key, d),
+            EdgeKind::Cell => cell_edge_delay.insert(key, d),
+        };
+    }
+
+    // Min-delay (hold) analysis: earliest arrivals over the cached edge
+    // delays, checked against the flip-flop hold requirement.
+    let arrival_min_nodes = propagate_min(
+        graph,
+        |e| edge_delay_cache[&(graph.pin_of(e.from), graph.pin_of(e.to))],
+        source_time,
+    );
+    let mut hold_wns = f32::INFINITY;
+    for &v in graph.endpoints() {
+        let pin = netlist.pin(graph.pin_of(v));
+        // Hold requirement applies at sequential data pins only.
+        let hold_ps = match pin.cell {
+            Some(c) if library.cell_type(netlist.cell(c).type_id).is_sequential() => {
+                HOLD_REQUIREMENT_PS
+            }
+            _ => 0.0,
+        };
+        hold_wns = hold_wns.min(arrival_min_nodes[v as usize] - hold_ps);
+    }
+    if graph.endpoints().is_empty() {
+        hold_wns = 0.0;
+    }
+
+    // Required times: backward min-propagation from the endpoints.
+    let mut required_nodes = vec![f32::INFINITY; graph.num_nodes()];
+    for &v in graph.endpoints() {
+        required_nodes[v as usize] = clock_period_ps;
+    }
+    let order: Vec<u32> = graph.topo_order().collect();
+    for &v in order.iter().rev() {
+        for e in graph.fanout(v) {
+            let key = (graph.pin_of(e.from), graph.pin_of(e.to));
+            let d = edge_delay_cache[&key];
+            let r = required_nodes[e.to as usize] - d;
+            if r < required_nodes[v as usize] {
+                required_nodes[v as usize] = r;
+            }
+        }
+    }
+
+    // Re-index arrivals/required by pin id and collect endpoints.
+    let mut arrival = vec![f32::NAN; netlist.pin_capacity()];
+    let mut arrival_min = vec![f32::NAN; netlist.pin_capacity()];
+    let mut required = vec![f32::NAN; netlist.pin_capacity()];
+    for v in 0..graph.num_nodes() as u32 {
+        arrival[graph.pin_of(v).index()] = arrival_nodes[v as usize];
+        arrival_min[graph.pin_of(v).index()] = arrival_min_nodes[v as usize];
+        let r = required_nodes[v as usize];
+        required[graph.pin_of(v).index()] = if r.is_finite() { r } else { f32::NAN };
+    }
+    let endpoints: Vec<(PinId, f32)> = graph
+        .endpoints()
+        .iter()
+        .map(|&v| (graph.pin_of(v), arrival_nodes[v as usize]))
+        .collect();
+
+    let mut wns = f32::INFINITY;
+    let mut tns = 0.0f32;
+    for &(_, a) in &endpoints {
+        let slack = clock_period_ps - a;
+        wns = wns.min(slack);
+        if slack < 0.0 {
+            tns += slack;
+        }
+    }
+    if endpoints.is_empty() {
+        wns = 0.0;
+    }
+
+    crate::StaReport {
+        clock_period_ps,
+        wns,
+        tns,
+        hold_wns,
+        arrival,
+        arrival_min,
+        required,
+        endpoints,
+        net_edge_delay,
+        cell_edge_delay,
+    }
+}
+
+/// Hold requirement at sequential data pins, ps. A fixed synthetic value:
+/// the library does not model per-cell hold arcs.
+pub const HOLD_REQUIREMENT_PS: f32 = 4.0;
+
+fn sink_cap(netlist: &Netlist, library: &CellLibrary, sink: PinId) -> f32 {
+    match netlist.pin(sink).cell {
+        Some(c) => library.cell_type(netlist.cell(c).type_id).pin_cap_ff,
+        None => 1.0, // output port load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_circgen::{ripple_carry_adder, GenParams};
+    use rtt_netlist::TimingGraph;
+    use rtt_place::{place, PlaceConfig};
+    use rtt_route::{route, RouteConfig};
+
+    struct World {
+        lib: CellLibrary,
+        nl: Netlist,
+        pl: Placement,
+        rt: Routing,
+        graph: TimingGraph,
+    }
+
+    fn world(nl_builder: impl FnOnce(&CellLibrary) -> Netlist) -> World {
+        let lib = CellLibrary::asap7_like();
+        let nl = nl_builder(&lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let rt = route(&nl, &lib, &pl, &RouteConfig::default());
+        let graph = TimingGraph::build(&nl, &lib);
+        World { lib, nl, pl, rt, graph }
+    }
+
+    #[test]
+    fn arrivals_increase_along_paths() {
+        let w = world(|lib| ripple_carry_adder(8, lib));
+        let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
+        for e in w.graph.edges() {
+            let a = rep.arrival(w.graph.pin_of(e.from)).unwrap();
+            let b = rep.arrival(w.graph.pin_of(e.to)).unwrap();
+            assert!(b >= a, "arrival not monotonic along edge");
+        }
+    }
+
+    #[test]
+    fn carry_chain_dominates() {
+        let w = world(|lib| ripple_carry_adder(8, lib));
+        let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
+        // cout (end of the carry chain) must be the slowest endpoint.
+        let cout = w
+            .nl
+            .output_ports()
+            .iter()
+            .copied()
+            .find(|&p| w.nl.pin(p).name == "cout")
+            .unwrap();
+        let cout_arr = rep.arrival(cout).unwrap();
+        assert!((rep.max_arrival() - cout_arr).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wns_tns_match_endpoints() {
+        let w = world(|lib| ripple_carry_adder(6, lib));
+        let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 100.0);
+        let min_slack = rep
+            .endpoint_arrivals()
+            .iter()
+            .map(|&(_, a)| 100.0 - a)
+            .fold(f32::INFINITY, f32::min);
+        assert!((rep.wns - min_slack).abs() < 1e-4);
+        let neg: f32 = rep
+            .endpoint_arrivals()
+            .iter()
+            .map(|&(_, a)| (100.0 - a).min(0.0))
+            .sum();
+        assert!((rep.tns - neg).abs() < 1e-3);
+        assert!(rep.tns <= 0.0);
+    }
+
+    #[test]
+    fn flop_outputs_launch_at_clk2q() {
+        let w = world(|lib| ripple_carry_adder(4, lib));
+        let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
+        let (dff_c, dff) = w
+            .nl
+            .cells()
+            .find(|(_, c)| w.lib.cell_type(c.type_id).is_sequential())
+            .unwrap();
+        let _ = dff_c;
+        let q_arr = rep.arrival(dff.output).unwrap();
+        let clk2q = w.lib.cell_type(dff.type_id).intrinsic_ps;
+        assert!((q_arr - clk2q).abs() < 1e-4);
+    }
+
+    #[test]
+    fn preroute_and_routed_disagree() {
+        let w = world(|lib| {
+            GenParams::new("g", 300, 3).generate(lib).netlist
+        });
+        let pre = run_sta(&w.nl, &w.lib, &w.graph, WireModel::PreRoute(&w.pl), 500.0);
+        let post = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
+        // Same endpoints, different numbers (detours + tree sharing).
+        assert_eq!(pre.endpoint_arrivals().len(), post.endpoint_arrivals().len());
+        let diff: f32 = pre
+            .endpoint_arrivals()
+            .iter()
+            .zip(post.endpoint_arrivals())
+            .map(|(&(_, a), &(_, b))| (a - b).abs())
+            .sum();
+        assert!(diff > 0.0, "models should not agree exactly");
+    }
+
+    #[test]
+    fn edge_delays_are_exposed() {
+        let w = world(|lib| ripple_carry_adder(2, lib));
+        let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
+        assert_eq!(rep.net_edge_delays().count(), w.graph.num_net_edges());
+        assert_eq!(rep.cell_edge_delays().count(), w.graph.num_cell_edges());
+        for (_, _, d) in rep.net_edge_delays() {
+            assert!(d.is_finite() && d >= 0.0);
+        }
+        for (_, _, d) in rep.cell_edge_delays() {
+            assert!(d > 0.0, "cell delay includes intrinsic");
+        }
+    }
+
+    #[test]
+    fn generic_propagate_with_unit_delays_counts_levels() {
+        let w = world(|lib| ripple_carry_adder(3, lib));
+        let arr = propagate(&w.graph, |_| 1.0, |_| 0.0);
+        for v in 0..w.graph.num_nodes() as u32 {
+            assert!(
+                (arr[v as usize] - w.graph.level(v) as f32).abs() < 1e-5,
+                "unit-delay arrival must equal topological level"
+            );
+        }
+    }
+
+    #[test]
+    fn upsizing_a_driver_reduces_its_cell_delay() {
+        let lib = CellLibrary::asap7_like();
+        let mut nl = ripple_carry_adder(4, &lib);
+        let (cid, cell) = nl
+            .cells()
+            .find(|(_, c)| !lib.cell_type(c.type_id).is_sequential())
+            .map(|(id, c)| (id, c.clone()))
+            .unwrap();
+        let input = cell.inputs[0];
+        let out = cell.output;
+
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let rt = route(&nl, &lib, &pl, &RouteConfig::default());
+        let g = TimingGraph::build(&nl, &lib);
+        let before = run_sta(&nl, &lib, &g, WireModel::Routed(&rt), 500.0)
+            .cell_edge_delay(input, out)
+            .unwrap();
+
+        let stronger = lib.pick(lib.cell_type(cell.type_id).gate, 8).unwrap();
+        nl.resize_cell(cid, stronger, &lib).unwrap();
+        let rt2 = route(&nl, &lib, &pl, &RouteConfig::default());
+        let g2 = TimingGraph::build(&nl, &lib);
+        let after = run_sta(&nl, &lib, &g2, WireModel::Routed(&rt2), 500.0)
+            .cell_edge_delay(input, out)
+            .unwrap();
+        assert!(after < before, "upsize should speed the cell: {after} vs {before}");
+    }
+}
+
+#[cfg(test)]
+mod required_tests {
+    use super::*;
+    use rtt_circgen::ripple_carry_adder;
+    use rtt_netlist::TimingGraph;
+    use rtt_place::{place, PlaceConfig};
+    use rtt_route::{route, RouteConfig};
+
+    #[test]
+    fn slack_matches_endpoint_definition() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(6, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let rt = route(&nl, &lib, &pl, &RouteConfig::default());
+        let g = TimingGraph::build(&nl, &lib);
+        let rep = run_sta(&nl, &lib, &g, WireModel::Routed(&rt), 200.0);
+        // At an endpoint, slack = period - arrival exactly.
+        for &(pin, a) in rep.endpoint_arrivals() {
+            let s = rep.pin_slack(pin).unwrap();
+            assert!((s - (200.0 - a)).abs() < 1e-3, "slack {s} vs {}", 200.0 - a);
+        }
+        // Along every edge, slack never increases toward the endpoint side
+        // beyond numerical noise on the *critical* fanout; generally
+        // required(from) <= required(to) - delay for the tightest fanout.
+        let min_pin_slack = (0..g.num_nodes() as u32)
+            .filter_map(|v| rep.pin_slack(g.pin_of(v)))
+            .fold(f32::INFINITY, f32::min);
+        assert!((min_pin_slack - rep.wns).abs() < 1e-3, "wns must be the min slack");
+    }
+
+    #[test]
+    fn hold_analysis_reports_min_arrivals() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(6, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let rt = route(&nl, &lib, &pl, &RouteConfig::default());
+        let g = TimingGraph::build(&nl, &lib);
+        let rep = run_sta(&nl, &lib, &g, WireModel::Routed(&rt), 500.0);
+        // Min arrival never exceeds max arrival, anywhere.
+        for v in 0..g.num_nodes() as u32 {
+            let pin = g.pin_of(v);
+            let lo = rep.arrival_min(pin).unwrap();
+            let hi = rep.arrival(pin).unwrap();
+            assert!(lo <= hi + 1e-4, "min {lo} > max {hi}");
+        }
+        // The worst hold slack matches the endpoint definition.
+        let mut expect = f32::INFINITY;
+        for &v in g.endpoints() {
+            let pin = g.pin_of(v);
+            let is_seq = nl
+                .pin(pin)
+                .cell
+                .map(|c| lib.cell_type(nl.cell(c).type_id).is_sequential())
+                .unwrap_or(false);
+            let req = if is_seq { HOLD_REQUIREMENT_PS } else { 0.0 };
+            expect = expect.min(rep.arrival_min(pin).unwrap() - req);
+        }
+        assert!((rep.hold_wns - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn min_propagation_with_unit_delays_is_shortest_path() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(3, &lib);
+        let g = TimingGraph::build(&nl, &lib);
+        let lo = propagate_min(&g, |_| 1.0, |_| 0.0);
+        let hi = propagate(&g, |_| 1.0, |_| 0.0);
+        for v in 0..g.num_nodes() as u32 {
+            assert!(lo[v as usize] <= hi[v as usize]);
+        }
+    }
+
+    #[test]
+    fn required_is_infinite_only_off_path() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(3, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let rt = route(&nl, &lib, &pl, &RouteConfig::default());
+        let g = TimingGraph::build(&nl, &lib);
+        let rep = run_sta(&nl, &lib, &g, WireModel::Routed(&rt), 300.0);
+        // Every pin in the adder reaches an endpoint, so all have required.
+        for v in 0..g.num_nodes() as u32 {
+            assert!(rep.required(g.pin_of(v)).is_some());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! STA result container.
+
+use std::collections::HashMap;
+
+use rtt_netlist::PinId;
+
+/// Result of one STA run.
+///
+/// Arrival times are in picoseconds from the launching clock edge. Slack of
+/// an endpoint is `clock_period_ps - arrival`.
+#[derive(Clone, Debug)]
+pub struct StaReport {
+    /// Clock period the slacks were computed against, ps.
+    pub clock_period_ps: f32,
+    /// Worst negative slack (the minimum endpoint slack), ps.
+    pub wns: f32,
+    /// Total negative slack (sum of negative endpoint slacks), ps.
+    pub tns: f32,
+    /// Worst hold slack over all endpoints (min-delay check), ps.
+    pub hold_wns: f32,
+    pub(crate) arrival: Vec<f32>,
+    pub(crate) arrival_min: Vec<f32>,
+    pub(crate) required: Vec<f32>,
+    pub(crate) endpoints: Vec<(PinId, f32)>,
+    pub(crate) net_edge_delay: HashMap<(PinId, PinId), f32>,
+    pub(crate) cell_edge_delay: HashMap<(PinId, PinId), f32>,
+}
+
+impl StaReport {
+    /// Arrival time at `pin`, or `None` for pins outside the analyzed graph.
+    pub fn arrival(&self, pin: PinId) -> Option<f32> {
+        self.arrival.get(pin.index()).copied().filter(|a| a.is_finite())
+    }
+
+    /// Earliest (min-delay) arrival time at `pin` — the quantity behind
+    /// hold checks — or `None` outside the graph.
+    pub fn arrival_min(&self, pin: PinId) -> Option<f32> {
+        self.arrival_min.get(pin.index()).copied().filter(|a| a.is_finite())
+    }
+
+    /// Required time at `pin` (backward-propagated from the clock period),
+    /// or `None` for pins outside the graph or with no path to an endpoint.
+    pub fn required(&self, pin: PinId) -> Option<f32> {
+        self.required.get(pin.index()).copied().filter(|r| r.is_finite())
+    }
+
+    /// Slack at `pin`: `required - arrival`. Negative on violating paths.
+    pub fn pin_slack(&self, pin: PinId) -> Option<f32> {
+        Some(self.required(pin)? - self.arrival(pin)?)
+    }
+
+    /// `(endpoint pin, arrival)` pairs — the paper's prediction target.
+    pub fn endpoint_arrivals(&self) -> &[(PinId, f32)] {
+        &self.endpoints
+    }
+
+    /// Slack of an endpoint at `arrival`.
+    pub fn slack_of(&self, arrival: f32) -> f32 {
+        self.clock_period_ps - arrival
+    }
+
+    /// Delay of the net edge `driver -> sink`, if it exists.
+    pub fn net_edge_delay(&self, driver: PinId, sink: PinId) -> Option<f32> {
+        self.net_edge_delay.get(&(driver, sink)).copied()
+    }
+
+    /// Delay of the cell edge `input -> output`, if it exists.
+    pub fn cell_edge_delay(&self, input: PinId, output: PinId) -> Option<f32> {
+        self.cell_edge_delay.get(&(input, output)).copied()
+    }
+
+    /// Iterates over all `(driver, sink, delay)` net edges.
+    pub fn net_edge_delays(&self) -> impl Iterator<Item = (PinId, PinId, f32)> + '_ {
+        self.net_edge_delay.iter().map(|(&(a, b), &d)| (a, b, d))
+    }
+
+    /// Iterates over all `(input, output, delay)` cell edges.
+    pub fn cell_edge_delays(&self) -> impl Iterator<Item = (PinId, PinId, f32)> + '_ {
+        self.cell_edge_delay.iter().map(|(&(a, b), &d)| (a, b, d))
+    }
+
+    /// The largest endpoint arrival time (critical-path length), ps.
+    pub fn max_arrival(&self) -> f32 {
+        self.endpoints.iter().map(|&(_, a)| a).fold(0.0, f32::max)
+    }
+}

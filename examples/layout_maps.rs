@@ -1,0 +1,56 @@
+//! Extracts and visualizes the three layout feature maps of Fig. 5 for a
+//! design with macros, as ASCII heat maps and PGM images.
+//!
+//! ```sh
+//! cargo run --release --example layout_maps
+//! ```
+
+use restructure_timing::prelude::*;
+
+fn ascii(grid: &restructure_timing::place::Grid, title: &str) {
+    const RAMP: [char; 6] = [' ', '░', '▒', '▓', '█', '█'];
+    println!("\n{title} ({}×{}):", grid.width(), grid.height());
+    let max = grid.max().max(f32::MIN_POSITIVE);
+    for y in (0..grid.height()).rev() {
+        let mut line = String::new();
+        for x in 0..grid.width() {
+            let v = grid.at(x, y) / max;
+            let idx = ((v * 4.0).ceil() as usize).min(5);
+            line.push(RAMP[idx]);
+        }
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let lib = CellLibrary::asap7_like();
+    let design = preset("rocket", Scale::Tiny).expect("known preset").generate(&lib);
+    let placement = place(&design.netlist, &lib, 2, &PlaceConfig::default());
+    let maps = LayoutMaps::extract(&design.netlist, &lib, &placement, 32);
+
+    println!(
+        "design {}: {} cells on a {:.0}×{:.0} µm die, {} macros",
+        design.netlist.name,
+        design.netlist.num_cells(),
+        placement.floorplan().die.width(),
+        placement.floorplan().die.height(),
+        placement.floorplan().macros.len()
+    );
+    ascii(&maps.density, "cell density");
+    ascii(&maps.rudy, "RUDY (wire density estimate)");
+    ascii(&maps.macros, "macro region");
+
+    let out = std::path::Path::new("results/layout_maps");
+    std::fs::create_dir_all(out).expect("create output dir");
+    for (name, map) in [
+        ("density", &maps.density),
+        ("rudy", &maps.rudy),
+        ("macros", &maps.macros),
+    ] {
+        let mut img = map.clone();
+        img.normalize_max();
+        let path = out.join(format!("{name}.pgm"));
+        std::fs::write(&path, img.to_pgm()).expect("write image");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,313 @@
+//! `restructure-timing` — command-line front end for the flow.
+//!
+//! ```text
+//! restructure-timing gen  --design rocket [--scale small] --out DIR
+//! restructure-timing sta  --netlist F.v --placement F.place [--period PS]
+//! restructure-timing opt  --netlist F.v --placement F.place --period PS --out DIR
+//! restructure-timing flow --design rocket [--scale small]
+//! ```
+//!
+//! `gen` writes a synthetic design as structural Verilog plus a placement
+//! file; `sta` re-imports such files and reports sign-off timing; `opt`
+//! runs the restructuring optimizer and writes the optimized design back
+//! out; `flow` runs the paper's two-flow comparison and prints a Table-I
+//! style summary for one design.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use restructure_timing::flow::{run_design_flow, FlowConfig};
+use restructure_timing::netlist::{parse_verilog, write_verilog, Netlist};
+use restructure_timing::opt::diff_netlists;
+use restructure_timing::place::{parse_placement, write_placement, Placement};
+use restructure_timing::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "sta" => cmd_sta(&opts),
+        "opt" => cmd_opt(&opts),
+        "flow" => cmd_flow(&opts),
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "restructure-timing <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 gen  --design NAME [--scale tiny|small|paper] [--seed N] --out DIR\n\
+         \x20 sta  --netlist FILE.v --placement FILE.place [--period PS]\n\
+         \x20 opt  --netlist FILE.v --placement FILE.place --period PS --out DIR\n\
+         \x20 flow --design NAME [--scale tiny|small|paper]\n\
+         \x20 train   [--scale S] [--epochs N] --weights FILE\n\
+         \x20 predict --netlist FILE.v --placement FILE.place --weights FILE\n"
+    );
+}
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            out.insert(key.to_owned(), value);
+        }
+    }
+    out
+}
+
+fn opt_scale(opts: &HashMap<String, String>) -> Result<Scale, String> {
+    match opts.get("scale") {
+        None => Ok(Scale::Small),
+        Some(s) => s.parse(),
+    }
+}
+
+fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn load_design(opts: &HashMap<String, String>) -> Result<(CellLibrary, Netlist, Placement), String> {
+    let lib = CellLibrary::asap7_like();
+    let v_path = required(opts, "netlist")?;
+    let p_path = required(opts, "placement")?;
+    let v_text = std::fs::read_to_string(v_path).map_err(|e| format!("{v_path}: {e}"))?;
+    let netlist = parse_verilog(&v_text, &lib).map_err(|e| format!("{v_path}: {e}"))?;
+    let p_text = std::fs::read_to_string(p_path).map_err(|e| format!("{p_path}: {e}"))?;
+    let placement = parse_placement(&netlist, &p_text).map_err(|e| format!("{p_path}: {e}"))?;
+    Ok((lib, netlist, placement))
+}
+
+fn write_design(
+    dir: &Path,
+    stem: &str,
+    netlist: &Netlist,
+    library: &CellLibrary,
+    placement: &Placement,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let v = dir.join(format!("{stem}.v"));
+    std::fs::write(&v, write_verilog(netlist, library)).map_err(|e| format!("{}: {e}", v.display()))?;
+    let p = dir.join(format!("{stem}.place"));
+    std::fs::write(&p, write_placement(netlist, placement))
+        .map_err(|e| format!("{}: {e}", p.display()))?;
+    println!("wrote {} and {}", v.display(), p.display());
+    Ok(())
+}
+
+fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let name = required(opts, "design")?;
+    let scale = opt_scale(opts)?;
+    let out = PathBuf::from(required(opts, "out")?);
+    let lib = CellLibrary::asap7_like();
+    let mut params = preset(name, scale).ok_or_else(|| {
+        format!(
+            "unknown design `{name}` (known: {})",
+            restructure_timing::circgen::preset_names().join(", ")
+        )
+    })?;
+    if let Some(seed) = opts.get("seed") {
+        params.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    let design = params.generate(&lib);
+    let placement = place(&design.netlist, &lib, design.num_macros, &PlaceConfig::default());
+    println!(
+        "generated `{name}` at scale {scale}: {} cells, {} nets, {} macros",
+        design.netlist.num_cells(),
+        design.netlist.num_nets(),
+        placement.floorplan().macros.len()
+    );
+    write_design(&out, name, &design.netlist, &lib, &placement)
+}
+
+fn cmd_sta(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (lib, netlist, placement) = load_design(opts)?;
+    let graph = TimingGraph::build(&netlist, &lib);
+    let routing = route(&netlist, &lib, &placement, &RouteConfig::default());
+    let period: f32 = match opts.get("period") {
+        Some(p) => p.parse().map_err(|e| format!("bad --period: {e}"))?,
+        None => {
+            let probe = run_sta(&netlist, &lib, &graph, WireModel::Routed(&routing), 1.0);
+            probe.max_arrival()
+        }
+    };
+    let report = run_sta(&netlist, &lib, &graph, WireModel::Routed(&routing), period);
+    println!(
+        "{}: {} endpoints, period {:.1} ps, wns {:.2} ps, tns {:.2} ps",
+        netlist.name,
+        report.endpoint_arrivals().len(),
+        period,
+        report.wns,
+        report.tns
+    );
+    let mut worst: Vec<(String, f32)> = report
+        .endpoint_arrivals()
+        .iter()
+        .map(|&(pin, a)| (netlist.pin(pin).name.clone(), a))
+        .collect();
+    worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("worst endpoints:");
+    for (name, a) in worst.into_iter().take(5) {
+        println!("  {name:<24} arrival {a:>10.2} ps  slack {:>10.2} ps", period - a);
+    }
+    Ok(())
+}
+
+fn cmd_opt(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (lib, mut netlist, mut placement) = load_design(opts)?;
+    let period: f32 = required(opts, "period")?
+        .parse()
+        .map_err(|e| format!("bad --period: {e}"))?;
+    let out = PathBuf::from(required(opts, "out")?);
+    let before = netlist.clone();
+    let report = optimize(
+        &mut netlist,
+        &mut placement,
+        &lib,
+        &OptConfig { clock_period_ps: period, ..OptConfig::default() },
+    );
+    let diff = diff_netlists(&before, &netlist, &lib);
+    println!(
+        "wns {:.1} -> {:.1} ps | {} upsized, {} downsized, {} drv buffers, {} buffers, \
+         {} decomposed, {} bypassed | {:.1}% net edges, {:.1}% cell edges replaced",
+        report.wns_before,
+        report.wns_after,
+        report.sizing_ops,
+        report.downsize_ops,
+        report.drv_buffer_ops,
+        report.buffer_ops,
+        report.decompose_ops,
+        report.bypass_ops,
+        diff.net_replaced_fraction() * 100.0,
+        diff.cell_replaced_fraction() * 100.0,
+    );
+    let stem = format!("{}_opt", netlist.name);
+    write_design(&out, &stem, &netlist, &lib, &placement)
+}
+
+/// Model architecture per scale (must match between `train` and `predict`).
+fn model_config_for(scale: Scale) -> ModelConfig {
+    match scale {
+        Scale::Tiny => ModelConfig::tiny(),
+        Scale::Small => ModelConfig::small(),
+        Scale::Paper => ModelConfig::paper(),
+    }
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let scale = opt_scale(opts)?;
+    let weights_path = PathBuf::from(required(opts, "weights")?);
+    let epochs: usize = opts
+        .get("epochs")
+        .map(|e| e.parse().map_err(|e| format!("bad --epochs: {e}")))
+        .transpose()?
+        .unwrap_or(match scale {
+            Scale::Tiny => 60,
+            _ => 300,
+        });
+    eprintln!("generating the training dataset at scale {scale} (two full flows per design) ...");
+    let dataset = Dataset::generate(&FlowConfig { scale, ..FlowConfig::default() });
+    let cfg = model_config_for(scale);
+    let train: Vec<PreparedDesign> = dataset
+        .train_designs()
+        .iter()
+        .map(|d| d.prepared(&dataset.library, &cfg))
+        .collect();
+    let mut model = TimingModel::new(cfg.clone());
+    eprintln!("training {} parameters for {epochs} epochs ...", model.num_parameters());
+    let log = model.train(
+        &train,
+        &TrainConfig { epochs, lr: 2e-3, log_every: 25, ..TrainConfig::default() },
+    );
+    eprintln!("final training loss {:.5}", log.final_loss());
+    for d in dataset.test_designs() {
+        let prep = d.prepared(&dataset.library, &cfg);
+        let r2 = restructure_timing::flow::r2_score(&model.predict(&prep), &d.endpoint_targets());
+        println!("held-out {:<10} R² = {r2:.4}", d.name);
+    }
+    std::fs::write(&weights_path, model.save_weights())
+        .map_err(|e| format!("{}: {e}", weights_path.display()))?;
+    println!("wrote weights to {}", weights_path.display());
+    Ok(())
+}
+
+fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
+    let scale = opt_scale(opts)?;
+    let (lib, netlist, placement) = load_design(opts)?;
+    let weights_path = required(opts, "weights")?;
+    let blob = std::fs::read(weights_path).map_err(|e| format!("{weights_path}: {e}"))?;
+    let cfg = model_config_for(scale);
+    let mut model = TimingModel::new(cfg.clone());
+    model.load_weights(&blob).map_err(|e| format!("{weights_path}: {e}"))?;
+
+    let graph = TimingGraph::build(&netlist, &lib);
+    let prep = PreparedDesign::prepare(
+        &netlist,
+        &lib,
+        &placement,
+        &graph,
+        &cfg,
+        vec![0.0; graph.endpoints().len()],
+    );
+    let pred = model.predict(&prep);
+    println!("endpoint\tpredicted_arrival_ps");
+    for (&v, p) in graph.endpoints().iter().zip(&pred) {
+        println!("{}\t{p:.2}", netlist.pin(graph.pin_of(v)).name);
+    }
+    Ok(())
+}
+
+fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), String> {
+    let name = required(opts, "design")?;
+    let scale = opt_scale(opts)?;
+    let lib = CellLibrary::asap7_like();
+    let params = preset(name, scale).ok_or_else(|| format!("unknown design `{name}`"))?;
+    let data = run_design_flow(&params, &lib, &FlowConfig { scale, ..FlowConfig::default() });
+    println!(
+        "{name}: {} pins, {} endpoints, period {:.1} ps",
+        data.input_netlist.num_pins(),
+        data.input_graph.endpoints().len(),
+        data.clock_period_ps
+    );
+    println!(
+        "  without opt: wns {:.1} ps, tns {:.1} ps",
+        data.no_opt.wns, data.no_opt.tns
+    );
+    println!(
+        "  with opt:    wns {:.1} ps, tns {:.1} ps ({} ops, {:.1}s opt / {:.1}s route / {:.1}s sta)",
+        data.signoff.wns,
+        data.signoff.tns,
+        data.opt_report.total_ops(),
+        data.timings.opt_s,
+        data.timings.route_s,
+        data.timings.sta_s,
+    );
+    println!(
+        "  replaced: {:.1}% net edges, {:.1}% cell edges",
+        data.diff.net_replaced_fraction() * 100.0,
+        data.diff.cell_replaced_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `restructure-timing` command-line tool: the
+//! gen → sta → opt file-interchange loop on real temp files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_restructure-timing"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtt_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn gen_sta_opt_pipeline_roundtrips_through_files() {
+    let dir = tmpdir("pipeline");
+    // gen
+    let out = bin()
+        .args(["gen", "--design", "xgate", "--scale", "tiny", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let v = dir.join("xgate.v");
+    let p = dir.join("xgate.place");
+    assert!(v.exists() && p.exists());
+
+    // sta
+    let out = bin()
+        .args(["sta", "--netlist"])
+        .arg(&v)
+        .arg("--placement")
+        .arg(&p)
+        .output()
+        .expect("run sta");
+    assert!(out.status.success(), "sta failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("wns"), "sta output missing wns: {text}");
+    assert!(text.contains("worst endpoints"));
+
+    // opt (tight period forces work)
+    let out = bin()
+        .args(["opt", "--netlist"])
+        .arg(&v)
+        .arg("--placement")
+        .arg(&p)
+        .args(["--period", "120", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run opt");
+    assert!(out.status.success(), "opt failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("xgate_opt.v").exists());
+    assert!(dir.join("xgate_opt.place").exists());
+
+    // The optimized design re-enters the flow cleanly.
+    let out = bin()
+        .args(["sta", "--netlist"])
+        .arg(dir.join("xgate_opt.v"))
+        .arg("--placement")
+        .arg(dir.join("xgate_opt.place"))
+        .args(["--period", "120"])
+        .output()
+        .expect("run sta on optimized design");
+    assert!(out.status.success(), "sta2 failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_and_missing_args_fail_cleanly() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().args(["gen", "--design", "no_such_design", "--out", "/tmp"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design"));
+
+    let out = bin().arg("sta").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --netlist"));
+}
+
+#[test]
+fn flow_command_prints_replacement_summary() {
+    let out = bin()
+        .args(["flow", "--design", "chacha", "--scale", "tiny"])
+        .output()
+        .expect("run flow");
+    assert!(out.status.success(), "flow failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("without opt"));
+    assert!(text.contains("with opt"));
+    assert!(text.contains("replaced"));
+}

@@ -1,0 +1,43 @@
+//! Model persistence and reuse across the facade.
+
+use restructure_timing::flow::{Dataset, FlowConfig};
+use restructure_timing::prelude::*;
+
+#[test]
+fn trained_model_roundtrips_through_bytes() {
+    let cfg = FlowConfig { scale: Scale::Tiny, ..FlowConfig::default() };
+    let ds = Dataset::generate_subset(&cfg, 1, 1);
+    let lib = &ds.library;
+    let mc = ModelConfig::tiny();
+    let train: Vec<PreparedDesign> =
+        ds.train_designs().iter().map(|d| d.prepared(lib, &mc)).collect();
+    let mut model = TimingModel::new(mc.clone());
+    model.train(&train, &TrainConfig { epochs: 5, ..TrainConfig::default() });
+
+    let test_prep = ds.test_designs()[0].prepared(lib, &mc);
+    let expect = model.predict(&test_prep);
+
+    let blob = model.save_weights();
+    let mut restored = TimingModel::new(mc);
+    restored.load_weights(&blob).expect("same architecture");
+    assert_eq!(restored.predict(&test_prep), expect);
+}
+
+#[test]
+fn variants_predict_differently() {
+    let cfg = FlowConfig { scale: Scale::Tiny, ..FlowConfig::default() };
+    let ds = Dataset::generate_subset(&cfg, 1, 0);
+    let lib = &ds.library;
+    let d = ds.train_designs()[0];
+
+    let mut preds = Vec::new();
+    for variant in [ModelVariant::Full, ModelVariant::GnnOnly, ModelVariant::CnnOnly] {
+        let mc = ModelConfig::tiny().with_variant(variant);
+        let prep = d.prepared(lib, &mc);
+        let model = TimingModel::new(mc);
+        preds.push(model.predict(&prep));
+    }
+    assert_ne!(preds[0], preds[1]);
+    assert_ne!(preds[0], preds[2]);
+    assert_ne!(preds[1], preds[2]);
+}
