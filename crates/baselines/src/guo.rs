@@ -227,8 +227,7 @@ impl GuoModel {
     }
 
     fn norm_arr<'t>(&self, tape: &'t Tape, labels: &[f32]) -> rtt_nn::Var<'t> {
-        let data: Vec<f32> =
-            labels.iter().map(|&a| (a - self.arr_mean) / self.arr_std).collect();
+        let data: Vec<f32> = labels.iter().map(|&a| (a - self.arr_mean) / self.arr_std).collect();
         tape.constant(Tensor::from_vec(&[labels.len(), 1], data))
     }
 
@@ -241,46 +240,27 @@ impl GuoModel {
     pub fn predict_endpoints(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
         let p = prepare(inputs);
         let tape = Tape::new();
-        let levels = self.gnn.forward_levels(
-            &tape,
-            &self.store,
-            &p.schedule,
-            &p.feats,
-            Aggregation::Max,
-        );
+        let levels =
+            self.gnn.forward_levels(&tape, &self.store, &p.schedule, &p.feats, Aggregation::Max);
         let emb = tape.gather_multi(&levels, &p.ep_locs).scale(rtt_core::READOUT_SCALE);
         let pred = self.arrival_head.forward(&tape, &self.store, emb);
-        tape.value(pred)
-            .data()
-            .iter()
-            .map(|v| v * self.arr_std + self.arr_mean)
-            .collect()
+        tape.value(pred).data().iter().map(|v| v * self.arr_std + self.arr_mean).collect()
     }
 
     /// `(prediction, label)` pairs for the auxiliary local tasks on the
     /// survivors: `(net delays, cell delays)` — the split local columns the
     /// paper reports for this baseline.
-    pub fn local_eval(
-        &self,
-        inputs: &BaselineInputs<'_>,
-    ) -> (Vec<(f32, f32)>, Vec<(f32, f32)>) {
+    #[allow(clippy::type_complexity)]
+    pub fn local_eval(&self, inputs: &BaselineInputs<'_>) -> (Vec<(f32, f32)>, Vec<(f32, f32)>) {
         let p = prepare(inputs);
         let tape = Tape::new();
-        let levels = self.gnn.forward_levels(
-            &tape,
-            &self.store,
-            &p.schedule,
-            &p.feats,
-            Aggregation::Max,
-        );
+        let levels =
+            self.gnn.forward_levels(&tape, &self.store, &p.schedule, &p.feats, Aggregation::Max);
         let eval = |locs: &[(u32, u32)], labels: &[f32], head: &Mlp| -> Vec<(f32, f32)> {
             if locs.is_empty() {
                 return Vec::new();
             }
-            let emb = tape
-                .gather_multi(&levels, locs)
-                .scale(rtt_core::READOUT_SCALE)
-                .tanh();
+            let emb = tape.gather_multi(&levels, locs).scale(rtt_core::READOUT_SCALE).tanh();
             let pred = tape.value(head.forward(&tape, &self.store, emb));
             pred.data()
                 .iter()

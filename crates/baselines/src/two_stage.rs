@@ -80,9 +80,7 @@ fn extract_features(inputs: &BaselineInputs<'_>, kind: TwoStageKind) -> StageFea
             row[7 + ty.gate.one_hot_index()] = 1.0;
         }
         row[5] = match inputs.netlist.pin(sink).cell {
-            Some(c) => {
-                inputs.library.cell_type(inputs.netlist.cell(c).type_id).pin_cap_ff / 2.0
-            }
+            Some(c) => inputs.library.cell_type(inputs.netlist.cell(c).type_id).pin_cap_ff / 2.0,
             None => 0.5,
         };
         // Star-estimate of the driver's total load.
@@ -164,8 +162,7 @@ impl TwoStageModel {
         let encoded: Vec<f32> = labels.iter().map(|&l| (1.0 + l.max(0.0)).ln()).collect();
         let n = encoded.len();
         self.label_mean = encoded.iter().sum::<f32>() / n as f32;
-        let var =
-            encoded.iter().map(|l| (l - self.label_mean).powi(2)).sum::<f32>() / n as f32;
+        let var = encoded.iter().map(|l| (l - self.label_mean).powi(2)).sum::<f32>() / n as f32;
         self.label_std = var.sqrt().max(1e-6);
         let normalized: Vec<f32> =
             encoded.iter().map(|l| (l - self.label_mean) / self.label_std).collect();
@@ -212,10 +209,7 @@ impl TwoStageModel {
     /// behind the left columns of Table II.
     pub fn local_eval(&self, inputs: &BaselineInputs<'_>) -> Vec<(f32, f32)> {
         let stages = self.predict_stages(inputs);
-        stages
-            .iter()
-            .filter_map(|(&(d, s), &p)| inputs.stage_label(d, s).map(|l| (p, l)))
-            .collect()
+        stages.iter().filter_map(|(&(d, s), &p)| inputs.stage_label(d, s).map(|l| (p, l))).collect()
     }
 
     /// Assembles endpoint arrival times by PERT traversal over the
@@ -238,8 +232,7 @@ impl TwoStageModel {
                 let pin = inputs.netlist.pin(graph.pin_of(v));
                 match (pin.cell, pin.dir) {
                     (Some(c), PinDir::Drive) => {
-                        let ty =
-                            inputs.library.cell_type(inputs.netlist.cell(c).type_id);
+                        let ty = inputs.library.cell_type(inputs.netlist.cell(c).type_id);
                         if ty.is_sequential() {
                             ty.intrinsic_ps
                         } else {

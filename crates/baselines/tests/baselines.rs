@@ -160,8 +160,7 @@ fn guo_model_trains_and_predicts() {
     let ep = model.predict_endpoints(&inputs);
     assert_eq!(ep.len(), w.endpoint_targets.len());
     assert!(ep.iter().all(|v| v.is_finite()));
-    let pairs: Vec<(f32, f32)> =
-        ep.into_iter().zip(w.endpoint_targets.iter().copied()).collect();
+    let pairs: Vec<(f32, f32)> = ep.into_iter().zip(w.endpoint_targets.iter().copied()).collect();
     let er2 = r2(&pairs);
     assert!(er2 > 0.0, "guo train-set endpoint R² = {er2}");
     let (net_pairs, cell_pairs) = model.local_eval(&inputs);

@@ -106,6 +106,61 @@ fn bench_masks(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread counts the kernel benchmarks sweep: serial vs. every core.
+fn thread_counts() -> Vec<usize> {
+    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if all > 1 {
+        vec![1, all]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    // Rows span a minibatch (8) up to a large endpoint batch (256); the
+    // inner dims match the model's hidden width.
+    let hidden = ModelConfig::small().gnn_hidden.max(64);
+    for rows in [8usize, 64, 256] {
+        let a = Tensor::uniform(&mut rng, &[rows, hidden], 1.0);
+        let b = Tensor::uniform(&mut rng, &[hidden, hidden], 1.0);
+        for threads in thread_counts() {
+            rtt_nn::parallel::set_num_threads(threads);
+            let id = BenchmarkId::new(format!("{rows}x{hidden}x{hidden}"), format!("t{threads}"));
+            g.bench_with_input(id, &rows, |bch, _| bch.iter(|| a.matmul(&b)));
+        }
+    }
+    rtt_nn::parallel::set_num_threads(1);
+    g.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    g.sample_size(20);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    // The layout CNN's first conv at the two bench grids.
+    let channels = ModelConfig::small().cnn_channels;
+    let w = Tensor::uniform(&mut rng, &[channels, 3, 3, 3], 0.5);
+    for grid in [32usize, 64] {
+        let x = Tensor::uniform(&mut rng, &[3, grid, grid], 1.0);
+        for threads in thread_counts() {
+            rtt_nn::parallel::set_num_threads(threads);
+            let id = BenchmarkId::new(format!("3x{grid}x{grid}"), format!("t{threads}"));
+            g.bench_with_input(id, &grid, |bch, _| {
+                bch.iter(|| {
+                    let tape = Tape::new();
+                    let y = tape.conv2d(tape.constant(x.clone()), tape.constant(w.clone()), 1);
+                    tape.value(y)
+                })
+            });
+        }
+    }
+    rtt_nn::parallel::set_num_threads(1);
+    g.finish();
+}
+
 fn bench_place(c: &mut Criterion) {
     let mut g = c.benchmark_group("placement");
     g.sample_size(10);
@@ -123,6 +178,8 @@ criterion_group!(
     bench_route,
     bench_gnn_forward,
     bench_cnn_forward,
+    bench_matmul,
+    bench_conv2d,
     bench_masks,
     bench_place
 );

@@ -24,7 +24,8 @@ fn main() {
         &model,
         &TrainConfig { epochs, lr: 2e-3, log_every: 25, ..TrainConfig::default() },
     );
-    let mut report = format!("# Design-choice ablations (scale: {}, {epochs} epochs)\n\n", cli.scale);
+    let mut report =
+        format!("# Design-choice ablations (scale: {}, {epochs} epochs)\n\n", cli.scale);
     report.push_str(&render_ablation(&rows));
     cli.write_report("ablation", &report);
 }

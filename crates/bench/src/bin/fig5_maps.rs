@@ -16,18 +16,11 @@ fn main() {
     for name in ["or1200", "rocket"] {
         let params = preset(name, cli.scale).expect("known design");
         let design = params.generate(&lib);
-        let pl = place(
-            &design.netlist,
-            &lib,
-            design.num_macros.max(1),
-            &PlaceConfig::default(),
-        );
+        let pl = place(&design.netlist, &lib, design.num_macros.max(1), &PlaceConfig::default());
         let maps = LayoutMaps::extract(&design.netlist, &lib, &pl, grid);
-        for (label, grid_map) in [
-            ("density", &maps.density),
-            ("rudy", &maps.rudy),
-            ("macros", &maps.macros),
-        ] {
+        for (label, grid_map) in
+            [("density", &maps.density), ("rudy", &maps.rudy), ("macros", &maps.macros)]
+        {
             let mut img = grid_map.clone();
             img.normalize_max();
             cli.write_bytes(&format!("fig5/{name}_{label}.pgm"), &img.to_pgm());

@@ -17,11 +17,8 @@ fn main() {
     let graph = TimingGraph::build(&design.netlist, &lib);
 
     // Pick the deepest endpoint — the most interesting critical region.
-    let ep = *graph
-        .endpoints()
-        .iter()
-        .max_by_key(|&&e| graph.level(e))
-        .expect("design has endpoints");
+    let ep =
+        *graph.endpoints().iter().max_by_key(|&&e| graph.level(e)).expect("design has endpoints");
     let path = longest_path(&graph, ep);
     let grid = 24;
     let mask = endpoint_mask(&design.netlist, &pl, &graph, &path, grid);

@@ -1,0 +1,135 @@
+//! Serial-vs-parallel performance suite.
+//!
+//! Times the four workloads the parallel execution layer targets — dataset
+//! generation, GNN forward, CNN forward, and one training epoch — once with
+//! one thread and once with all available cores, then writes the results to
+//! `BENCH_PR1.json` in the current directory (and prints them). Every
+//! workload is bit-identical across thread counts, so this suite measures
+//! speed only.
+
+use std::time::Instant;
+
+use rtt_circgen::{GenParams, Scale};
+use rtt_core::{ModelConfig, PreparedDesign, TimingModel, TrainConfig};
+use rtt_features::endpoint_masks;
+use rtt_flow::{Dataset, FlowConfig};
+use rtt_netlist::{CellLibrary, TimingGraph};
+use rtt_nn::parallel;
+use rtt_place::{place, PlaceConfig};
+use rtt_route::{route, RouteConfig};
+use rtt_sta::{run_sta, WireModel};
+
+/// Median wall-clock seconds over `reps` runs of `f`.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s.max(1e-12)
+    }
+}
+
+/// Times one workload with 1 thread, then with all cores.
+fn serial_vs_parallel<R>(
+    name: &'static str,
+    cores: usize,
+    reps: usize,
+    mut f: impl FnMut() -> R,
+) -> Row {
+    parallel::set_num_threads(1);
+    let serial_s = time_median(reps, &mut f);
+    parallel::set_num_threads(cores);
+    let parallel_s = time_median(reps, &mut f);
+    parallel::set_num_threads(1);
+    let row = Row { name, serial_s, parallel_s };
+    println!(
+        "{:<22} serial {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x",
+        row.name,
+        row.serial_s,
+        row.parallel_s,
+        row.speedup()
+    );
+    row
+}
+
+fn prepare_design(cells: usize, seed: u64, cfg: &ModelConfig, lib: &CellLibrary) -> PreparedDesign {
+    let d = GenParams::new(format!("perf{seed}"), cells, seed).generate(lib);
+    let pl = place(&d.netlist, lib, 0, &PlaceConfig::default());
+    let rt = route(&d.netlist, lib, &pl, &RouteConfig::default());
+    let graph = TimingGraph::build(&d.netlist, lib);
+    let sta = run_sta(&d.netlist, lib, &graph, WireModel::Routed(&rt), 500.0);
+    let targets = sta.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
+    PreparedDesign::prepare(&d.netlist, lib, &pl, &graph, cfg, targets)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("perfsuite: {cores} core(s) available");
+
+    let mut rows = Vec::new();
+    let lib = CellLibrary::asap7_like();
+
+    // 1. Dataset generation: ten tiny designs through both flows, fanned
+    //    out one design per thread.
+    let flow_cfg = FlowConfig { scale: Scale::Tiny, ..FlowConfig::default() };
+    rows.push(serial_vs_parallel("dataset_generate", cores, 3, || Dataset::generate(&flow_cfg)));
+
+    // 2. Endpoint-mask extraction at 2000 cells (per-endpoint fan-out).
+    let md = GenParams::new("perfmask".to_owned(), 2000, 17).generate(&lib);
+    let mpl = place(&md.netlist, &lib, 0, &PlaceConfig::default());
+    let mgraph = TimingGraph::build(&md.netlist, &lib);
+    rows.push(serial_vs_parallel("endpoint_masks_2000", cores, 3, || {
+        endpoint_masks(&md.netlist, &mpl, &mgraph, 32)
+    }));
+
+    // 3./4. Model forwards at paper-ish widths (parallel matmul + im2col
+    //       conv paths).
+    let cfg = ModelConfig::small();
+    let gnn_design = prepare_design(2000, 21, &cfg, &lib);
+    let gnn_model = TimingModel::new(cfg.clone());
+    rows.push(serial_vs_parallel("gnn_cnn_forward_2000", cores, 3, || {
+        gnn_model.predict(&gnn_design)
+    }));
+
+    // 5. One training epoch over four 2000-cell designs (per-design
+    //    gradient fan-out + parallel kernels underneath).
+    let designs: Vec<PreparedDesign> =
+        (0..4).map(|s| prepare_design(2000, 100 + s, &cfg, &lib)).collect();
+    let tc = TrainConfig { epochs: 1, ..TrainConfig::default() };
+    rows.push(serial_vs_parallel("train_epoch_4x2000", cores, 3, || {
+        let mut model = TimingModel::new(cfg.clone());
+        model.train(&designs, &tc)
+    }));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.serial_s,
+            r.parallel_s,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_PR1.json", json).expect("write BENCH_PR1.json");
+    eprintln!("[written to BENCH_PR1.json]");
+}

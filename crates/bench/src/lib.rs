@@ -51,8 +51,7 @@ impl Cli {
                 "--out" => {
                     cli.out = PathBuf::from(args.next().unwrap_or_default());
                 }
-                "--help" | "-h" => usage("")
-                ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument `{other}`")),
             }
         }

@@ -178,12 +178,7 @@ impl GenParams {
 
     /// Samples an input driver for a new gate, avoiding duplicates within
     /// the gate.
-    fn sample_driver(
-        &self,
-        rng: &mut StdRng,
-        pool: &mut DriverPool,
-        taken: &[usize],
-    ) -> usize {
+    fn sample_driver(&self, rng: &mut StdRng, pool: &mut DriverPool, taken: &[usize]) -> usize {
         for _ in 0..8 {
             let r: f64 = rng.gen();
             let (cand, popped) = if r < self.depth_bias && !pool.unconsumed.is_empty() {
@@ -228,9 +223,9 @@ impl GenParams {
 }
 
 fn pick(library: &CellLibrary, gate: GateFn, drive: u8) -> CellTypeId {
-    library.pick(gate, drive).unwrap_or_else(|| {
-        library.variants(gate).first().copied().expect("gate exists in library")
-    })
+    library
+        .pick(gate, drive)
+        .unwrap_or_else(|| library.variants(gate).first().copied().expect("gate exists in library"))
 }
 
 #[cfg(test)]
@@ -305,8 +300,7 @@ mod tests {
     #[test]
     fn fanout_is_heavy_tailed() {
         let d = small();
-        let mut fanouts: Vec<usize> =
-            d.netlist.nets().map(|(_, n)| n.sinks.len()).collect();
+        let mut fanouts: Vec<usize> = d.netlist.nets().map(|(_, n)| n.sinks.len()).collect();
         fanouts.sort_unstable();
         assert_eq!(fanouts[0], 1);
         assert!(*fanouts.last().unwrap() >= 4, "max fanout {}", fanouts.last().unwrap());
@@ -334,8 +328,7 @@ mod verilog_roundtrip_tests {
         for seed in [1u64, 2, 3] {
             let d = GenParams::new(format!("rt{seed}"), 150, seed).generate(&lib);
             let text = write_verilog(&d.netlist, &lib);
-            let back = parse_verilog(&text, &lib)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let back = parse_verilog(&text, &lib).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             back.validate().unwrap();
             assert_eq!(back.num_cells(), d.netlist.num_cells());
             assert_eq!(back.num_nets(), d.netlist.num_nets());

@@ -57,10 +57,7 @@ pub fn preset(name: &str, scale: Scale) -> Option<GenParams> {
 
 /// All ten presets at the given scale, train designs first.
 pub fn all_presets(scale: Scale) -> Vec<GenParams> {
-    preset_names()
-        .into_iter()
-        .map(|n| preset(n, scale).expect("listed preset exists"))
-        .collect()
+    preset_names().into_iter().map(|n| preset(n, scale).expect("listed preset exists")).collect()
 }
 
 #[cfg(test)]

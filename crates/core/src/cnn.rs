@@ -78,10 +78,8 @@ mod tests {
         let y = cnn.forward(&tape, &store, x);
         let loss = y.mul(y).mean();
         let grads = tape.backward(loss);
-        let live = store
-            .iter()
-            .filter(|(id, _)| grads.of(*id).is_some_and(|g| g.norm() > 0.0))
-            .count();
+        let live =
+            store.iter().filter(|(id, _)| grads.of(*id).is_some_and(|g| g.norm() > 0.0)).count();
         assert!(live >= 5, "only {live}/6 conv params receive gradient");
     }
 

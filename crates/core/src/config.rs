@@ -118,7 +118,10 @@ impl ModelConfig {
     ///
     /// Panics if `grid` is not a multiple of 4.
     pub fn pooled_grid(&self) -> usize {
-        assert!(self.grid % 4 == 0 && self.grid > 0, "grid must be a positive multiple of 4");
+        assert!(
+            self.grid.is_multiple_of(4) && self.grid > 0,
+            "grid must be a positive multiple of 4"
+        );
         self.grid / 4
     }
 

@@ -93,11 +93,7 @@ impl GnnSchedule {
             levels.push(plan);
         }
 
-        let endpoint_locs = graph
-            .endpoints()
-            .iter()
-            .map(|&v| node_loc[v as usize])
-            .collect();
+        let endpoint_locs = graph.endpoints().iter().map(|&v| node_loc[v as usize]).collect();
         Self { levels, endpoint_locs, node_loc }
     }
 
@@ -141,25 +137,17 @@ impl LevelFeats {
     pub fn assemble(schedule: &GnnSchedule, features: &NodeFeatures) -> Self {
         let mut out = Self::default();
         for plan in &schedule.levels {
-            out.cell.push(group_matrix(&plan.cell_nodes, CELL_FEATURE_DIM, |v| {
-                features.cell_row(v)
-            }));
-            out.net.push(group_matrix(&plan.net_nodes, NET_FEATURE_DIM, |v| {
-                features.net_row(v)
-            }));
-            out.source.push(group_matrix(&plan.source_nodes, CELL_FEATURE_DIM, |v| {
-                features.cell_row(v)
-            }));
+            out.cell
+                .push(group_matrix(&plan.cell_nodes, CELL_FEATURE_DIM, |v| features.cell_row(v)));
+            out.net.push(group_matrix(&plan.net_nodes, NET_FEATURE_DIM, |v| features.net_row(v)));
+            out.source
+                .push(group_matrix(&plan.source_nodes, CELL_FEATURE_DIM, |v| features.cell_row(v)));
         }
         out
     }
 }
 
-fn group_matrix<'f>(
-    nodes: &[u32],
-    dim: usize,
-    row: impl Fn(u32) -> &'f [f32],
-) -> Option<Tensor> {
+fn group_matrix<'f>(nodes: &[u32], dim: usize, row: impl Fn(u32) -> &'f [f32]) -> Option<Tensor> {
     if nodes.is_empty() {
         return None;
     }
@@ -245,8 +233,7 @@ impl NetlistGnn {
                         tape.segment_max(msgs, &plan.cell_seg, plan.cell_nodes.len())
                     }
                     Aggregation::Mean => {
-                        let sum =
-                            tape.segment_sum(msgs, &plan.cell_seg, plan.cell_nodes.len());
+                        let sum = tape.segment_sum(msgs, &plan.cell_seg, plan.cell_nodes.len());
                         let inv: Vec<f32> =
                             plan.cell_fanin.iter().map(|&c| 1.0 / c.max(1.0)).collect();
                         tape.scale_rows(sum, &inv)
@@ -288,8 +275,7 @@ impl NetlistGnn {
                 groups.push(h);
             }
             if !plan.source_nodes.is_empty() {
-                let feat =
-                    tape.constant(feats.source[l].clone().expect("source feats present"));
+                let feat = tape.constant(feats.source[l].clone().expect("source feats present"));
                 let h = self.f_c2.forward(tape, store, feat).relu();
                 groups.push(h);
             }

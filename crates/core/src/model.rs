@@ -3,8 +3,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
-use rtt_nn::{mse, Adam, Linear, Mlp, ParamStore, Tape, Tensor, Var};
+use rtt_nn::{mse, Adam, Grads, Linear, Mlp, ParamStore, Tape, Tensor, Var};
 
 use crate::cnn::LayoutCnn;
 use crate::gnn::NetlistGnn;
@@ -55,16 +56,7 @@ impl TimingModel {
             &mut rng,
             &[config.fused_dim(), config.regressor_hidden, config.regressor_hidden, 1],
         );
-        Self {
-            config,
-            store,
-            gnn,
-            cnn,
-            regressor,
-            target_mean: 0.0,
-            target_std: 1.0,
-            rng,
-        }
+        Self { config, store, gnn, cnn, regressor, target_mean: 0.0, target_std: 1.0, rng }
     }
 
     /// The model's configuration.
@@ -85,7 +77,12 @@ impl TimingModel {
     /// whole DAG), but the layout branch and regressor run only on the
     /// requested rows — this is what keeps masked-layout training cheap and
     /// paper-scale masks out of memory (they are densified per batch).
-    fn forward<'t>(&self, tape: &'t Tape, design: &PreparedDesign, batch: Option<&[u32]>) -> Var<'t> {
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        design: &PreparedDesign,
+        batch: Option<&[u32]>,
+    ) -> Var<'t> {
         let all: Vec<u32>;
         let indices: &[u32] = match batch {
             Some(b) => b,
@@ -154,12 +151,15 @@ impl TimingModel {
 
     /// Trains on the given designs with MSE on (encoded, standardized)
     /// arrival times; the de-normalization is stored in the model.
+    ///
+    /// Each epoch runs every design's forward/backward pass in parallel
+    /// against the epoch-start weights, sums the gradients in a fixed-order
+    /// tree, and takes a single optimizer step — so loss curves are
+    /// bit-identical for any thread count (`RTT_THREADS=1` included).
     pub fn train(&mut self, designs: &[PreparedDesign], tc: &TrainConfig) -> TrainLog {
         assert!(!designs.is_empty(), "training needs at least one design");
-        let all: Vec<f32> = designs
-            .iter()
-            .flat_map(|d| d.targets.iter().map(|&t| self.encode_target(t)))
-            .collect();
+        let all: Vec<f32> =
+            designs.iter().flat_map(|d| d.targets.iter().map(|&t| self.encode_target(t))).collect();
         let n = all.len() as f32;
         self.target_mean = all.iter().sum::<f32>() / n;
         let var = all.iter().map(|t| (t - self.target_mean).powi(2)).sum::<f32>() / n;
@@ -176,8 +176,7 @@ impl TimingModel {
             .map(|d| {
                 let enc: Vec<f32> = d.targets.iter().map(|&t| self.encode_target(t)).collect();
                 let m = enc.iter().sum::<f32>() / enc.len().max(1) as f32;
-                let v = enc.iter().map(|t| (t - m).powi(2)).sum::<f32>()
-                    / enc.len().max(1) as f32;
+                let v = enc.iter().map(|t| (t - m).powi(2)).sum::<f32>() / enc.len().max(1) as f32;
                 (global_var / v.max(1e-9)).clamp(0.05, 50.0)
             })
             .collect();
@@ -188,30 +187,51 @@ impl TimingModel {
 
         for epoch in 0..tc.epochs {
             order.shuffle(&mut self.rng);
+            // Minibatch indices are drawn serially, in shuffled design
+            // order, so the RNG stream is identical no matter how many
+            // threads run the forward/backward passes below.
+            let batches: Vec<(usize, Vec<u32>)> = order
+                .iter()
+                .map(|&di| {
+                    let n_ep = designs[di].num_endpoints();
+                    let idx: Vec<u32> = if n_ep > tc.batch_endpoints {
+                        sample_indices(&mut self.rng, n_ep, tc.batch_endpoints)
+                    } else {
+                        (0..n_ep as u32).collect()
+                    };
+                    (di, idx)
+                })
+                .collect();
+            // Each design's forward/backward pass sees the same epoch-start
+            // weights, so the passes are independent and run in parallel;
+            // gradients reduce in a fixed-order pairwise tree and the
+            // optimizer takes one step per epoch over the accumulated sum.
+            let this: &TimingModel = self;
+            let results: Vec<(f32, Grads)> = batches
+                .par_iter()
+                .map(|(di, idx)| {
+                    let design = &designs[*di];
+                    let tape = Tape::new();
+                    let pred_b = this.forward(&tape, design, Some(idx));
+                    let data: Vec<f32> = idx
+                        .iter()
+                        .map(|&i| {
+                            (this.encode_target(design.targets[i as usize]) - this.target_mean)
+                                / this.target_std
+                        })
+                        .collect();
+                    let target_b = tape.constant(Tensor::from_vec(&[idx.len(), 1], data));
+                    let loss = mse(&tape, pred_b, target_b).scale(weights[*di]);
+                    (tape.value(loss).data()[0], tape.backward(loss))
+                })
+                .collect();
             let mut epoch_loss = 0.0;
-            for &di in &order {
-                let design = &designs[di];
-                let n_ep = design.num_endpoints();
-                let tape = Tape::new();
-                let idx: Vec<u32> = if n_ep > tc.batch_endpoints {
-                    sample_indices(&mut self.rng, n_ep, tc.batch_endpoints)
-                } else {
-                    (0..n_ep as u32).collect()
-                };
-                let pred_b = self.forward(&tape, design, Some(&idx));
-                let data: Vec<f32> = idx
-                    .iter()
-                    .map(|&i| {
-                        (self.encode_target(design.targets[i as usize]) - self.target_mean)
-                            / self.target_std
-                    })
-                    .collect();
-                let target_b = tape.constant(Tensor::from_vec(&[idx.len(), 1], data));
-                let loss = mse(&tape, pred_b, target_b).scale(weights[di]);
-                epoch_loss += tape.value(loss).data()[0];
-                let grads = tape.backward(loss);
-                adam.step(&mut self.store, &grads);
+            let mut grad_sets = Vec::with_capacity(results.len());
+            for (l, g) in results {
+                epoch_loss += l;
+                grad_sets.push(g);
             }
+            adam.step(&mut self.store, &Grads::tree_sum(grad_sets));
             epoch_loss /= designs.len() as f32;
             log.epoch_loss.push(epoch_loss);
             if tc.log_every > 0 && (epoch + 1) % tc.log_every == 0 {
@@ -306,10 +326,8 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let prep = prepared(120, 1, &cfg);
         let mut model = TimingModel::new(cfg);
-        let log = model.train(
-            &[prep],
-            &TrainConfig { epochs: 30, lr: 3e-3, ..TrainConfig::default() },
-        );
+        let log =
+            model.train(&[prep], &TrainConfig { epochs: 30, lr: 3e-3, ..TrainConfig::default() });
         let first = log.epoch_loss[0];
         let last = log.final_loss();
         assert!(last < first * 0.5, "loss {first} -> {last}");
@@ -329,11 +347,7 @@ mod tests {
         let pred = model.predict(&prep);
         let mean = prep.targets.iter().sum::<f32>() / prep.targets.len() as f32;
         let ss_tot: f32 = prep.targets.iter().map(|t| (t - mean).powi(2)).sum();
-        let ss_res: f32 = pred
-            .iter()
-            .zip(&prep.targets)
-            .map(|(p, t)| (p - t).powi(2))
-            .sum();
+        let ss_res: f32 = pred.iter().zip(&prep.targets).map(|(p, t)| (p - t).powi(2)).sum();
         let r2 = 1.0 - ss_res / ss_tot;
         assert!(r2 > 0.7, "train-set R² only {r2}");
     }

@@ -56,11 +56,7 @@ impl PreparedDesign {
         config: &ModelConfig,
         targets: Vec<f32>,
     ) -> Self {
-        assert_eq!(
-            targets.len(),
-            graph.endpoints().len(),
-            "one target per endpoint"
-        );
+        assert_eq!(targets.len(), graph.endpoints().len(), "one target per endpoint");
         let schedule = GnnSchedule::build(graph);
         let features = NodeFeatures::extract(netlist, library, graph, placement);
         let feats = LevelFeats::assemble(&schedule, &features);
@@ -73,11 +69,7 @@ impl PreparedDesign {
         let masks = mask_data
             .chunks_exact(mg * mg)
             .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .filter(|(_, &v)| v > 0.0)
-                    .map(|(i, _)| i as u32)
-                    .collect()
+                row.iter().enumerate().filter(|(_, &v)| v > 0.0).map(|(i, _)| i as u32).collect()
             })
             .collect();
 
@@ -121,8 +113,7 @@ mod tests {
         let graph = TimingGraph::build(&nl, &lib);
         let cfg = ModelConfig::tiny();
         let n_ep = graph.endpoints().len();
-        let prep =
-            PreparedDesign::prepare(&nl, &lib, &pl, &graph, &cfg, vec![1.0; n_ep]);
+        let prep = PreparedDesign::prepare(&nl, &lib, &pl, &graph, &cfg, vec![1.0; n_ep]);
         assert_eq!(prep.num_endpoints(), n_ep);
         assert_eq!(prep.maps.shape(), &[3, cfg.grid, cfg.grid]);
         assert_eq!(prep.masks.len(), n_ep);

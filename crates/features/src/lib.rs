@@ -14,10 +14,10 @@
 
 #![warn(missing_docs)]
 
+mod maps;
 mod mask;
 mod node_features;
-mod maps;
 
-pub use mask::{endpoint_mask, endpoint_masks, longest_path};
 pub use maps::LayoutMaps;
+pub use mask::{endpoint_mask, endpoint_masks, longest_path};
 pub use node_features::{NodeFeatures, CELL_FEATURE_DIM, DIST_NORM_UM, NET_FEATURE_DIM};

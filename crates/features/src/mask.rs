@@ -1,6 +1,8 @@
 //! Longest-path search and endpoint-wise critical-region masks
 //! (paper Section V-B, Equations 4–6).
 
+use rayon::prelude::*;
+
 use rtt_netlist::{EdgeKind, Netlist, TimingGraph};
 use rtt_place::{Grid, Placement, Rect};
 
@@ -43,9 +45,7 @@ pub fn endpoint_mask(
         let (u, v) = (pair[0], pair[1]);
         // Only net edges count: cell-internal regions are not usable by the
         // optimizer (paper Section V-B).
-        let is_net = graph
-            .fanin(v)
-            .any(|e| e.from == u && e.kind == EdgeKind::Net);
+        let is_net = graph.fanin(v).any(|e| e.from == u && e.kind == EdgeKind::Net);
         if !is_net {
             continue;
         }
@@ -71,7 +71,8 @@ fn mark_bins(mask: &mut Grid, r: Rect) {
 /// grid²]` row-major buffer (the batched form the model consumes).
 ///
 /// Masks are independent per endpoint, exactly as the paper notes the
-/// path-finding can run in parallel.
+/// path-finding can run in parallel — each endpoint's row is a disjoint
+/// chunk of the output buffer, so the fan-out is trivially deterministic.
 pub fn endpoint_masks(
     netlist: &Netlist,
     placement: &Placement,
@@ -80,11 +81,11 @@ pub fn endpoint_masks(
 ) -> Vec<f32> {
     let eps = graph.endpoints();
     let mut out = vec![0.0f32; eps.len() * grid * grid];
-    for (i, &ep) in eps.iter().enumerate() {
-        let path = longest_path(graph, ep);
+    out.par_chunks_mut(grid * grid).enumerate().for_each(|(i, row)| {
+        let path = longest_path(graph, eps[i]);
         let mask = endpoint_mask(netlist, placement, graph, &path, grid);
-        out[i * grid * grid..(i + 1) * grid * grid].copy_from_slice(mask.values());
-    }
+        row.copy_from_slice(mask.values());
+    });
     out
 }
 
@@ -133,11 +134,7 @@ mod tests {
     #[test]
     fn mask_is_binary_and_nonempty_for_deep_endpoints() {
         let (_, nl, pl, g) = world();
-        let ep = *g
-            .endpoints()
-            .iter()
-            .max_by_key(|&&e| g.level(e))
-            .unwrap();
+        let ep = *g.endpoints().iter().max_by_key(|&&e| g.level(e)).unwrap();
         let path = longest_path(&g, ep);
         let mask = endpoint_mask(&nl, &pl, &g, &path, 16);
         assert!(mask.values().iter().all(|&v| v == 0.0 || v == 1.0));

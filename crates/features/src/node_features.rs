@@ -53,8 +53,8 @@ impl NodeFeatures {
             // a port marker via zero one-hot; flop sources get DFF features).
             if let Some(cid) = pin.cell {
                 let ty = library.cell_type(netlist.cell(cid).type_id);
-                let row = &mut cell
-                    [v as usize * CELL_FEATURE_DIM..(v as usize + 1) * CELL_FEATURE_DIM];
+                let row =
+                    &mut cell[v as usize * CELL_FEATURE_DIM..(v as usize + 1) * CELL_FEATURE_DIM];
                 row[0] = f32::from(ty.drive) / 8.0;
                 row[1] = ty.pin_cap_ff / 2.0;
                 row[2 + ty.gate.one_hot_index()] = 1.0;
@@ -178,8 +178,7 @@ mod tests {
         let before = NodeFeatures::extract(&nl, &lib, &g, &pl);
         let v = g.node_of(out_pin).unwrap();
         let s_before = before.cell_row(v)[0];
-        nl.resize_cell(cid, lib.pick(lib.cell_type(cell.type_id).gate, 8).unwrap(), &lib)
-            .unwrap();
+        nl.resize_cell(cid, lib.pick(lib.cell_type(cell.type_id).gate, 8).unwrap(), &lib).unwrap();
         let g2 = TimingGraph::build(&nl, &lib);
         let after = NodeFeatures::extract(&nl, &lib, &g2, &pl);
         let v2 = g2.node_of(out_pin).unwrap();

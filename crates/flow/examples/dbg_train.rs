@@ -1,22 +1,37 @@
-use rtt_flow::*; use rtt_core::*; use std::time::Instant;
+use rtt_core::*;
+use rtt_flow::*;
+use std::time::Instant;
 fn main() {
     let cfg = FlowConfig { ..FlowConfig::default() };
     let ds = Dataset::generate(&cfg);
     let lib = &ds.library;
     let mc = ModelConfig::small().with_variant(ModelVariant::GnnOnly);
-    let train: Vec<PreparedDesign> = ds.train_designs().iter().map(|d| d.prepared(lib, &mc)).collect();
+    let train: Vec<PreparedDesign> =
+        ds.train_designs().iter().map(|d| d.prepared(lib, &mc)).collect();
     let mut model = TimingModel::new(mc.clone());
     let t0 = Instant::now();
     let log = model.train(&train, &TrainConfig { epochs: 10, lr: 2e-3, ..Default::default() });
-    println!("10 epochs in {:.1}s, loss {:.4} -> {:.4}", t0.elapsed().as_secs_f64(), log.epoch_loss[0], log.final_loss());
+    println!(
+        "10 epochs in {:.1}s, loss {:.4} -> {:.4}",
+        t0.elapsed().as_secs_f64(),
+        log.epoch_loss[0],
+        log.final_loss()
+    );
     let log = model.train(&train, &TrainConfig { epochs: 490, lr: 2e-3, ..Default::default() });
     println!("loss after 500: {:.4}", log.final_loss());
     for d in ds.designs.iter() {
         let prep = d.prepared(lib, &mc);
         let pred = model.predict(&prep);
         let t = d.endpoint_targets();
-        let pm = pred.iter().sum::<f32>()/pred.len() as f32;
-        let tm = t.iter().sum::<f32>()/t.len() as f32;
-        println!("{:<10} r2={:+.3} pred_mean={:.0} true_mean={:.0} n={}", d.name, r2_score(&pred, &t), pm, tm, t.len());
+        let pm = pred.iter().sum::<f32>() / pred.len() as f32;
+        let tm = t.iter().sum::<f32>() / t.len() as f32;
+        println!(
+            "{:<10} r2={:+.3} pred_mean={:.0} true_mean={:.0} n={}",
+            d.name,
+            r2_score(&pred, &t),
+            pm,
+            tm,
+            t.len()
+        );
     }
 }

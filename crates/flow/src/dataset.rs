@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use rtt_circgen::{all_presets, GenParams, Scale, TRAIN_DESIGNS};
 use rtt_netlist::{CellLibrary, TimingGraph};
@@ -31,12 +32,7 @@ pub struct FlowConfig {
 
 impl Default for FlowConfig {
     fn default() -> Self {
-        Self {
-            scale: Scale::Small,
-            period_fraction: 0.6,
-            utilization: (0.40, 0.72),
-            seed: 0xF10,
-        }
+        Self { scale: Scale::Small, period_fraction: 0.6, utilization: (0.40, 0.72), seed: 0xF10 }
     }
 }
 
@@ -51,11 +47,7 @@ pub fn run_design_flow(
     let input_netlist = generated.netlist;
 
     let utilization = rng.gen_range(config.utilization.0..config.utilization.1);
-    let place_cfg = PlaceConfig {
-        utilization,
-        seed: rng.gen(),
-        ..PlaceConfig::default()
-    };
+    let place_cfg = PlaceConfig { utilization, seed: rng.gen(), ..PlaceConfig::default() };
     let input_placement = place(&input_netlist, library, generated.num_macros, &place_cfg);
     let input_graph = TimingGraph::build(&input_netlist, library);
     let route_cfg = RouteConfig::default();
@@ -65,13 +57,8 @@ pub fn run_design_flow(
     let rt_a = route(&input_netlist, library, &input_placement, &route_cfg);
     let sta_probe = run_sta(&input_netlist, library, &input_graph, WireModel::Routed(&rt_a), 1.0);
     let clock_period_ps = sta_probe.max_arrival() * config.period_fraction;
-    let no_opt = run_sta(
-        &input_netlist,
-        library,
-        &input_graph,
-        WireModel::Routed(&rt_a),
-        clock_period_ps,
-    );
+    let no_opt =
+        run_sta(&input_netlist, library, &input_graph, WireModel::Routed(&rt_a), clock_period_ps);
 
     // Flow B: optimize → route → sign-off STA, timed per stage.
     let mut opt_netlist = input_netlist.clone();
@@ -87,13 +74,8 @@ pub fn run_design_flow(
 
     let opt_graph = TimingGraph::build(&opt_netlist, library);
     let t2 = Instant::now();
-    let signoff = run_sta(
-        &opt_netlist,
-        library,
-        &opt_graph,
-        WireModel::Routed(&rt_b),
-        clock_period_ps,
-    );
+    let signoff =
+        run_sta(&opt_netlist, library, &opt_graph, WireModel::Routed(&rt_b), clock_period_ps);
     let sta_s = t2.elapsed().as_secs_f64();
 
     let diff = diff_netlists(&input_netlist, &opt_netlist, library);
@@ -125,10 +107,14 @@ pub struct Dataset {
 
 impl Dataset {
     /// Generates all ten designs at the configured scale.
+    ///
+    /// Designs run in parallel. Each design's flow seeds its own RNG from
+    /// `config.seed ^ params.seed` and shares no other state, so the result
+    /// is byte-identical to a serial run regardless of thread count.
     pub fn generate(config: &FlowConfig) -> Self {
         let library = CellLibrary::asap7_like();
         let designs = all_presets(config.scale)
-            .iter()
+            .par_iter()
             .map(|p| run_design_flow(p, &library, config))
             .collect();
         Self { library, designs }
@@ -143,28 +129,20 @@ impl Dataset {
         let presets = all_presets(config.scale);
         let mut test: Vec<&GenParams> = presets[5..].iter().collect();
         test.sort_by_key(|p| std::cmp::Reverse(p.comb_cells));
-        let designs = presets[..n_train.min(5)]
-            .iter()
-            .chain(test.into_iter().take(n_test.min(5)))
-            .map(|p| run_design_flow(p, &library, config))
-            .collect();
+        let chosen: Vec<&GenParams> =
+            presets[..n_train.min(5)].iter().chain(test.into_iter().take(n_test.min(5))).collect();
+        let designs = chosen.par_iter().map(|p| run_design_flow(p, &library, config)).collect();
         Self { library, designs }
     }
 
     /// Training designs (the paper's five).
     pub fn train_designs(&self) -> Vec<&DesignData> {
-        self.designs
-            .iter()
-            .filter(|d| TRAIN_DESIGNS.contains(&d.name.as_str()))
-            .collect()
+        self.designs.iter().filter(|d| TRAIN_DESIGNS.contains(&d.name.as_str())).collect()
     }
 
     /// Held-out test designs.
     pub fn test_designs(&self) -> Vec<&DesignData> {
-        self.designs
-            .iter()
-            .filter(|d| !TRAIN_DESIGNS.contains(&d.name.as_str()))
-            .collect()
+        self.designs.iter().filter(|d| !TRAIN_DESIGNS.contains(&d.name.as_str())).collect()
     }
 }
 

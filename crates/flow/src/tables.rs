@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use rtt_baselines::{GuoConfig, GuoModel, TwoStageKind, TwoStageModel};
 use rtt_circgen::TRAIN_DESIGNS;
-use rtt_core::{ModelConfig, ModelVariant, TimingModel, TrainConfig, Aggregation};
+use rtt_core::{Aggregation, ModelConfig, ModelVariant, TimingModel, TrainConfig};
 
 use crate::{r2_score, Dataset, DesignData};
 
@@ -406,13 +406,14 @@ pub struct AblationRow {
 
 /// Runs the A2 design-choice ablations: max vs mean cell aggregation, and
 /// endpoint masking vs a shared layout map.
-pub fn ablation(dataset: &Dataset, base: &ModelConfig, train_cfg: &TrainConfig) -> Vec<AblationRow> {
+pub fn ablation(
+    dataset: &Dataset,
+    base: &ModelConfig,
+    train_cfg: &TrainConfig,
+) -> Vec<AblationRow> {
     let lib = &dataset.library;
-    let train: Vec<rtt_core::PreparedDesign> = dataset
-        .train_designs()
-        .iter()
-        .map(|d| d.prepared(lib, base))
-        .collect();
+    let train: Vec<rtt_core::PreparedDesign> =
+        dataset.train_designs().iter().map(|d| d.prepared(lib, base)).collect();
     let cases = [
         ("full (max agg, masked)".to_owned(), base.clone()),
         (

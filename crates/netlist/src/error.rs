@@ -39,10 +39,9 @@ impl fmt::Display for NetlistError {
             }
             Self::Dead(kind, id) => write!(f, "{kind} {id} has been removed"),
             Self::EmptyNet(n) => write!(f, "net {n} has no sinks"),
-            Self::CombinationalCycle { unresolved } => write!(
-                f,
-                "combinational cycle: {unresolved} pins could not be levelized"
-            ),
+            Self::CombinationalCycle { unresolved } => {
+                write!(f, "combinational cycle: {unresolved} pins could not be levelized")
+            }
             Self::ResizeChangesFunction(c) => {
                 write!(f, "resize of cell {c} would change its logic function")
             }

@@ -13,7 +13,7 @@
 //! levelized message passing, and the longest-path search behind the
 //! endpoint-wise critical-region mask.
 
-use crate::{CellId, CellLibrary, NetId, Netlist, NetlistError, PinId, PinDir, PortKind};
+use crate::{CellId, CellLibrary, NetId, Netlist, NetlistError, PinDir, PinId, PortKind};
 
 /// Kind of a timing edge.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -100,7 +100,13 @@ impl TimingGraph {
             let from = node_of_pin[net.driver.index()].expect("live driver");
             for &s in &net.sinks {
                 let to = node_of_pin[s.index()].expect("live sink");
-                edges.push(TimingEdge { from, to, kind: EdgeKind::Net, cell: None, net: Some(nid) });
+                edges.push(TimingEdge {
+                    from,
+                    to,
+                    kind: EdgeKind::Net,
+                    cell: None,
+                    net: Some(nid),
+                });
             }
         }
         for (cid, cell) in netlist.cells() {
@@ -110,7 +116,13 @@ impl TimingGraph {
             let to = node_of_pin[cell.output.index()].expect("live output");
             for &i in &cell.inputs {
                 let from = node_of_pin[i.index()].expect("live input");
-                edges.push(TimingEdge { from, to, kind: EdgeKind::Cell, cell: Some(cid), net: None });
+                edges.push(TimingEdge {
+                    from,
+                    to,
+                    kind: EdgeKind::Cell,
+                    cell: Some(cid),
+                    net: None,
+                });
             }
         }
 
@@ -124,8 +136,7 @@ impl TimingGraph {
             indeg[e.to as usize] += 1;
         }
         let mut level = vec![0u32; n];
-        let mut queue: Vec<u32> =
-            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut resolved = queue.len();
         let mut head = 0;
         while head < queue.len() {
@@ -341,9 +352,7 @@ mod tests {
         assert_eq!(g.num_nodes(), 8);
         assert_eq!(g.num_net_edges(), 4);
         assert_eq!(g.num_cell_edges(), 3); // 2 (AND) + 1 (INV)
-        let and_o = nl.cell(
-            nl.cells().find(|(_, c)| c.name == "u_and").unwrap().0
-        ).output;
+        let and_o = nl.cell(nl.cells().find(|(_, c)| c.name == "u_and").unwrap().0).output;
         let v = g.node_of(and_o).unwrap();
         assert_eq!(g.node_kind(v), NodeKind::CellOut);
     }

@@ -76,7 +76,11 @@ impl GateFn {
     pub fn num_inputs(self) -> usize {
         match self {
             GateFn::Buf | GateFn::Inv | GateFn::Dff => 1,
-            GateFn::And2 | GateFn::Or2 | GateFn::Nand2 | GateFn::Nor2 | GateFn::Xor2
+            GateFn::And2
+            | GateFn::Or2
+            | GateFn::Nand2
+            | GateFn::Nor2
+            | GateFn::Xor2
             | GateFn::Xnor2 => 2,
             GateFn::And3 | GateFn::Or3 | GateFn::Mux2 => 3,
             GateFn::And4 | GateFn::Or4 | GateFn::Aoi22 => 4,
@@ -224,17 +228,12 @@ impl CellLibrary {
 
     /// Iterates over `(id, type)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CellTypeId, &CellType)> {
-        self.types
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (CellTypeId::from_index(i), t))
+        self.types.iter().enumerate().map(|(i, t)| (CellTypeId::from_index(i), t))
     }
 
     /// Finds the type implementing `gate` at exactly drive strength `drive`.
     pub fn pick(&self, gate: GateFn, drive: u8) -> Option<CellTypeId> {
-        self.iter()
-            .find(|(_, t)| t.gate == gate && t.drive == drive)
-            .map(|(id, _)| id)
+        self.iter().find(|(_, t)| t.gate == gate && t.drive == drive).map(|(id, _)| id)
     }
 
     /// Finds the next stronger variant of `id`, if any.
@@ -257,11 +256,8 @@ impl CellLibrary {
 
     /// All drive variants for a gate function, weakest first.
     pub fn variants(&self, gate: GateFn) -> Vec<CellTypeId> {
-        let mut v: Vec<(u8, CellTypeId)> = self
-            .iter()
-            .filter(|(_, t)| t.gate == gate)
-            .map(|(id, t)| (t.drive, id))
-            .collect();
+        let mut v: Vec<(u8, CellTypeId)> =
+            self.iter().filter(|(_, t)| t.gate == gate).map(|(id, t)| (t.drive, id)).collect();
         v.sort_unstable_by_key(|(d, _)| *d);
         v.into_iter().map(|(_, id)| id).collect()
     }

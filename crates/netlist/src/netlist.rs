@@ -320,12 +320,7 @@ impl Netlist {
         for &s in sinks {
             self.pins[s.index()].net = Some(net_id);
         }
-        self.nets.push(Net {
-            name: name.into(),
-            driver,
-            sinks: sinks.to_vec(),
-            alive: true,
-        });
+        self.nets.push(Net { name: name.into(), driver, sinks: sinks.to_vec(), alive: true });
         Ok(net_id)
     }
 
@@ -452,10 +447,7 @@ impl Netlist {
     /// Propagates errors from [`Self::disconnect_sink`] / [`Self::add_sink`];
     /// returns a direction error if `sink` is currently unconnected.
     pub fn move_sink(&mut self, sink: PinId, to_net: NetId) -> Result<(), NetlistError> {
-        let from = self
-            .pin(sink)
-            .net
-            .ok_or(NetlistError::DirectionMismatch(sink))?;
+        let from = self.pin(sink).net.ok_or(NetlistError::DirectionMismatch(sink))?;
         self.disconnect_sink(from, sink)?;
         self.add_sink(to_net, sink)
     }
@@ -506,9 +498,7 @@ impl Netlist {
 
     /// Sum of live cell areas in µm², using `library` masters.
     pub fn total_cell_area(&self, library: &CellLibrary) -> f64 {
-        self.cells()
-            .map(|(_, c)| f64::from(library.cell_type(c.type_id).area_um2))
-            .sum()
+        self.cells().map(|(_, c)| f64::from(library.cell_type(c.type_id).area_um2)).sum()
     }
 }
 
@@ -548,16 +538,10 @@ mod tests {
     fn double_connection_is_rejected() {
         let (lib, mut nl, c, co, _) = tiny();
         let i0 = nl.cell(c).inputs[0];
-        assert_eq!(
-            nl.connect_net("dup", co, &[i0]),
-            Err(NetlistError::DriverAlreadyConnected(co))
-        );
+        assert_eq!(nl.connect_net("dup", co, &[i0]), Err(NetlistError::DriverAlreadyConnected(co)));
         let t = lib.pick(GateFn::Inv, 1).unwrap();
         let (_, o2) = nl.add_cell("u1", t, &lib);
-        assert_eq!(
-            nl.connect_net("dup2", o2, &[i0]),
-            Err(NetlistError::SinkAlreadyConnected(i0))
-        );
+        assert_eq!(nl.connect_net("dup2", o2, &[i0]), Err(NetlistError::SinkAlreadyConnected(i0)));
     }
 
     #[test]
@@ -568,10 +552,7 @@ mod tests {
         let (c2, o2) = nl.add_cell("u1", t, &lib);
         let i2 = nl.cell(c2).inputs[0];
         // input pin used as driver
-        assert_eq!(
-            nl.connect_net("bad", i0, &[i2]),
-            Err(NetlistError::DirectionMismatch(i0))
-        );
+        assert_eq!(nl.connect_net("bad", i0, &[i2]), Err(NetlistError::DirectionMismatch(i0)));
         // output pin used as sink
         assert!(matches!(
             nl.connect_net("bad2", o2, &[o2]),
@@ -583,10 +564,7 @@ mod tests {
     fn empty_net_is_rejected() {
         let (_, mut nl, _, co, ny) = tiny();
         nl.remove_net(ny).unwrap();
-        assert!(matches!(
-            nl.connect_net("e", co, &[]),
-            Err(NetlistError::EmptyNet(_))
-        ));
+        assert!(matches!(nl.connect_net("e", co, &[]), Err(NetlistError::EmptyNet(_))));
     }
 
     #[test]
@@ -603,7 +581,7 @@ mod tests {
     fn remove_cell_requires_disconnection_and_tombstones_pins() {
         let (_, mut nl, c, co, ny) = tiny();
         assert!(nl.remove_cell(c).is_err()); // still connected
-        // Disconnect everything touching the cell.
+                                             // Disconnect everything touching the cell.
         let i0 = nl.cell(c).inputs[0];
         let i1 = nl.cell(c).inputs[1];
         let n0 = nl.pin(i0).net.unwrap();
@@ -625,10 +603,7 @@ mod tests {
         nl.resize_cell(c, and2_x4, &lib).unwrap();
         assert_eq!(nl.cell(c).type_id, and2_x4);
         let inv = lib.pick(GateFn::Inv, 1).unwrap();
-        assert_eq!(
-            nl.resize_cell(c, inv, &lib),
-            Err(NetlistError::ResizeChangesFunction(c))
-        );
+        assert_eq!(nl.resize_cell(c, inv, &lib), Err(NetlistError::ResizeChangesFunction(c)));
     }
 
     #[test]

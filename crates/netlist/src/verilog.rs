@@ -135,12 +135,7 @@ pub fn write_verilog(netlist: &Netlist, library: &CellLibrary) -> String {
             pins.push(format!(".i{k}({})", conn(i)));
         }
         pins.push(format!(".o({})", conn(cell.output)));
-        out.push_str(&format!(
-            "  {} {} ({});\n",
-            ty.name,
-            sanitized(&cell.name),
-            pins.join(", ")
-        ));
+        out.push_str(&format!("  {} {} ({});\n", ty.name, sanitized(&cell.name), pins.join(", ")));
     }
     out.push_str("endmodule\n");
     out
@@ -279,9 +274,7 @@ pub fn parse_verilog(text: &str, library: &CellLibrary) -> Result<Netlist, Veril
                             parser.expect_char(')')?;
                             break;
                         }
-                        c => {
-                            return Err(parser.syntax(format!("expected `,` or `)`, got `{c}`")))
-                        }
+                        c => return Err(parser.syntax(format!("expected `,` or `)`, got `{c}`"))),
                     }
                 }
                 parser.expect_char(';')?;
@@ -495,12 +488,11 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_cells_and_pins() {
         let lib = CellLibrary::asap7_like();
-        let bad_type = "module m (a, y);\n input a;\n output y;\n FOO_X9 u0 (.i0(a), .o(y));\nendmodule";
-        assert!(matches!(
-            parse_verilog(bad_type, &lib),
-            Err(VerilogError::UnknownCellType(_))
-        ));
-        let bad_pin = "module m (a, y);\n input a;\n output y;\n INV_X1 u0 (.zz(a), .o(y));\nendmodule";
+        let bad_type =
+            "module m (a, y);\n input a;\n output y;\n FOO_X9 u0 (.i0(a), .o(y));\nendmodule";
+        assert!(matches!(parse_verilog(bad_type, &lib), Err(VerilogError::UnknownCellType(_))));
+        let bad_pin =
+            "module m (a, y);\n input a;\n output y;\n INV_X1 u0 (.zz(a), .o(y));\nendmodule";
         assert!(matches!(parse_verilog(bad_pin, &lib), Err(VerilogError::UnknownPin(..))));
     }
 

@@ -58,10 +58,7 @@ impl Mlp {
     /// Panics if fewer than two widths are given.
     pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, widths: &[usize]) -> Self {
         assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
-        let layers = widths
-            .windows(2)
-            .map(|w| Linear::new(store, rng, w[0], w[1]))
-            .collect();
+        let layers = widths.windows(2).map(|w| Linear::new(store, rng, w[0], w[1])).collect();
         Self { layers }
     }
 

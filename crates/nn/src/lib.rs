@@ -18,6 +18,8 @@
 //!   into each tape as leaves and updated from [`Grads`] by an optimizer.
 //! * [`Linear`], [`Mlp`], [`Conv2d`] — the layer zoo.
 //! * [`Adam`], [`Sgd`] — optimizers.
+//! * [`parallel`] — global thread-pool configuration; every kernel is
+//!   bit-identical across thread counts.
 //!
 //! # Example
 //!
@@ -33,7 +35,7 @@
 //! let mut adam = Adam::new(0.05);
 //! let x = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]);
 //! let y = Tensor::from_rows(&[&[2.0], &[4.0], &[6.0]]);
-//! for _ in 0..200 {
+//! for _ in 0..800 {
 //!     let tape = Tape::new();
 //!     let xv = tape.constant(x.clone());
 //!     let pred = layer.forward(&tape, &store, xv);
@@ -50,6 +52,7 @@
 
 mod layers;
 mod optim;
+pub mod parallel;
 mod store;
 mod tape;
 mod tensor;

@@ -1,0 +1,46 @@
+//! Thread-pool configuration for every parallel kernel in the workspace.
+//!
+//! All parallelism funnels through rayon's global pool. The pool size
+//! defaults to the `RTT_THREADS` environment variable, falling back to all
+//! available cores. `RTT_THREADS=1` (or [`set_num_threads`]`(1)`) runs every
+//! kernel serially and reproduces single-threaded results exactly — the
+//! parallel kernels are written to be bit-identical to their serial
+//! counterparts regardless of thread count, so this is a debugging aid, not
+//! a correctness requirement.
+
+/// The number of threads parallel kernels fan out to.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Reconfigures the global thread count (`1` forces serial execution).
+pub fn set_num_threads(n: usize) {
+    let n = n.max(1);
+    // The builder cannot fail in practice; panicking here would turn a
+    // configuration call into a hidden abort site, so ignore the result.
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+}
+
+/// `true` when a kernel processing `work` elements (or flops) should fan
+/// out: the pool has more than one thread and the work amortizes spawn
+/// overhead.
+pub(crate) fn should_parallelize(work: usize, threshold: usize) -> bool {
+    work >= threshold && num_threads() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_num_threads_round_trips() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(1);
+        assert_eq!(num_threads(), 1);
+        assert!(!should_parallelize(usize::MAX, 1));
+        set_num_threads(2);
+        assert!(should_parallelize(100, 100));
+        assert!(!should_parallelize(99, 100));
+    }
+}

@@ -163,6 +163,51 @@ impl Grads {
     pub fn norm(&self) -> f32 {
         self.by_param.values().map(|t| t.norm().powi(2)).sum::<f32>().sqrt()
     }
+
+    /// Adds `other`'s parameter gradients into `self` (elementwise).
+    /// Per-tape-node gradients are dropped — they are meaningless across
+    /// tapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter appears in both with different shapes.
+    pub fn merge_sum(&mut self, other: Grads) {
+        self.by_var.clear();
+        for (id, g) in other.by_param {
+            match self.by_param.get_mut(&id) {
+                Some(acc) => acc.add_assign(&g),
+                None => {
+                    self.by_param.insert(id, g);
+                }
+            }
+        }
+    }
+
+    /// Reduces gradient sets with a fixed-shape pairwise tree:
+    /// `(0+1) + (2+3) + …`, recursively. Because the tree's shape depends
+    /// only on `items.len()`, the floating-point result is a pure function
+    /// of the inputs and their order — independent of thread count — which
+    /// keeps multi-design training deterministic.
+    ///
+    /// Returns empty `Grads` for an empty input.
+    #[must_use]
+    pub fn tree_sum(mut items: Vec<Grads>) -> Grads {
+        if items.is_empty() {
+            return Grads::default();
+        }
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            let mut it = items.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge_sum(b);
+                }
+                next.push(a);
+            }
+            items = next;
+        }
+        items.pop().expect("non-empty")
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +251,22 @@ mod tests {
         let mut other = ParamStore::new();
         other.register(Tensor::zeros(&[4]));
         assert!(other.load_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn tree_sum_adds_disjoint_and_shared_params() {
+        let (a, b) = (ParamId(0), ParamId(1));
+        let mk = |id: ParamId, v: f32| {
+            let mut g = Grads::default();
+            g.insert_param(id, Tensor::full(&[2], v));
+            g
+        };
+        let mut shared = mk(a, 1.0);
+        shared.insert_param(b, Tensor::full(&[3], 10.0));
+        let total = Grads::tree_sum(vec![shared, mk(a, 2.0), mk(a, 4.0)]);
+        assert_eq!(total.of(a).unwrap().data(), &[7.0, 7.0]);
+        assert_eq!(total.of(b).unwrap().data(), &[10.0, 10.0, 10.0]);
+        assert!(Grads::tree_sum(vec![]).of(a).is_none());
     }
 
     #[test]

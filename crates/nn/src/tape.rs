@@ -2,8 +2,14 @@
 
 use std::cell::RefCell;
 
+use rayon::prelude::*;
+
+use crate::parallel;
 use crate::store::{Grads, ParamId, ParamStore};
 use crate::Tensor;
+
+/// Output-element count above which gather and segment ops fan out.
+const GATHER_PAR_ELEMS: usize = 1 << 14;
 
 /// A node handle on a [`Tape`].
 ///
@@ -99,8 +105,16 @@ impl Tape {
         let src = &nodes[x.id].value;
         let d = src.cols();
         let mut out = Tensor::zeros(&[idx.len().max(1), d]);
-        for (i, &r) in idx.iter().enumerate() {
-            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+        if parallel::should_parallelize(idx.len() * d, GATHER_PAR_ELEMS) {
+            out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
+                if i < idx.len() {
+                    row.copy_from_slice(src.row(idx[i] as usize));
+                }
+            });
+        } else {
+            for (i, &r) in idx.iter().enumerate() {
+                out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+            }
         }
         drop(nodes);
         self.push(out, Op::GatherRows(x.id, idx.to_vec()))
@@ -122,9 +136,19 @@ impl Tape {
             assert_eq!(nodes[s.id].value.cols(), d, "sources must share columns");
         }
         let mut out = Tensor::zeros(&[index.len().max(1), d]);
-        for (i, &(s, r)) in index.iter().enumerate() {
-            let src = &nodes[sources[s as usize].id].value;
-            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+        if parallel::should_parallelize(index.len() * d, GATHER_PAR_ELEMS) {
+            let srcs: Vec<&Tensor> = sources.iter().map(|s| &nodes[s.id].value).collect();
+            out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
+                if i < index.len() {
+                    let (s, r) = index[i];
+                    row.copy_from_slice(srcs[s as usize].row(r as usize));
+                }
+            });
+        } else {
+            for (i, &(s, r)) in index.iter().enumerate() {
+                let src = &nodes[sources[s as usize].id].value;
+                out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+            }
         }
         drop(nodes);
         self.push(
@@ -147,14 +171,55 @@ impl Tape {
         let d = src.cols();
         let mut out = Tensor::full(&[num_segments.max(1), d], f32::NEG_INFINITY);
         let mut argmax = vec![-1i64; num_segments.max(1) * d];
-        for (r, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            assert!(s < num_segments, "segment id out of range");
-            for c in 0..d {
-                let v = src.at(r, c);
-                if v > out.at(s, c) {
-                    out.data_mut()[s * d + c] = v;
-                    argmax[s * d + c] = r as i64;
+        if let Some(runs) = sorted_segment_runs(seg, num_segments) {
+            if parallel::should_parallelize(seg.len() * d, GATHER_PAR_ELEMS) {
+                // Each segment owns one output row; rows within a run are
+                // scanned in ascending order, exactly as the serial loop
+                // visits them, so results (and argmax tie-breaks) match.
+                let reduced: Vec<(Vec<f32>, Vec<i64>)> = runs
+                    .par_iter()
+                    .map(|&(lo, hi)| {
+                        let mut best = vec![f32::NEG_INFINITY; d];
+                        let mut arg = vec![-1i64; d];
+                        for r in lo..hi {
+                            for (c, (bv, av)) in best.iter_mut().zip(&mut arg).enumerate() {
+                                let v = src.at(r, c);
+                                if v > *bv {
+                                    *bv = v;
+                                    *av = r as i64;
+                                }
+                            }
+                        }
+                        (best, arg)
+                    })
+                    .collect();
+                for (s, (best, arg)) in reduced.into_iter().enumerate() {
+                    out.data_mut()[s * d..(s + 1) * d].copy_from_slice(&best);
+                    argmax[s * d..(s + 1) * d].copy_from_slice(&arg);
+                }
+            } else {
+                for (s, &(lo, hi)) in runs.iter().enumerate() {
+                    for r in lo..hi {
+                        for c in 0..d {
+                            let v = src.at(r, c);
+                            if v > out.at(s, c) {
+                                out.data_mut()[s * d + c] = v;
+                                argmax[s * d + c] = r as i64;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for (r, &s) in seg.iter().enumerate() {
+                let s = s as usize;
+                assert!(s < num_segments, "segment id out of range");
+                for c in 0..d {
+                    let v = src.at(r, c);
+                    if v > out.at(s, c) {
+                        out.data_mut()[s * d + c] = v;
+                        argmax[s * d + c] = r as i64;
+                    }
                 }
             }
         }
@@ -179,11 +244,42 @@ impl Tape {
         assert_eq!(seg.len(), src.rows(), "one segment id per row");
         let d = src.cols();
         let mut out = Tensor::zeros(&[num_segments.max(1), d]);
-        for (r, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            assert!(s < num_segments, "segment id out of range");
-            for c in 0..d {
-                out.data_mut()[s * d + c] += src.at(r, c);
+        if let Some(runs) = sorted_segment_runs(seg, num_segments) {
+            if parallel::should_parallelize(seg.len() * d, GATHER_PAR_ELEMS) {
+                // Rows within a run accumulate in ascending order — the
+                // same order the serial scan uses — so sums are
+                // bit-identical across thread counts.
+                let reduced: Vec<Vec<f32>> = runs
+                    .par_iter()
+                    .map(|&(lo, hi)| {
+                        let mut acc = vec![0.0f32; d];
+                        for r in lo..hi {
+                            for (a, v) in acc.iter_mut().zip(src.row(r)) {
+                                *a += v;
+                            }
+                        }
+                        acc
+                    })
+                    .collect();
+                for (s, acc) in reduced.into_iter().enumerate() {
+                    out.data_mut()[s * d..(s + 1) * d].copy_from_slice(&acc);
+                }
+            } else {
+                for (s, &(lo, hi)) in runs.iter().enumerate() {
+                    for r in lo..hi {
+                        for c in 0..d {
+                            out.data_mut()[s * d + c] += src.at(r, c);
+                        }
+                    }
+                }
+            }
+        } else {
+            for (r, &s) in seg.iter().enumerate() {
+                let s = s as usize;
+                assert!(s < num_segments, "segment id out of range");
+                for c in 0..d {
+                    out.data_mut()[s * d + c] += src.at(r, c);
+                }
             }
         }
         drop(nodes);
@@ -334,6 +430,98 @@ fn rank3(t: &Tensor) -> (usize, usize, usize) {
     (s[0], s[1], s[2])
 }
 
+/// If `seg` is non-decreasing, returns each segment's half-open row run
+/// `[lo, hi)` (empty segments yield `lo == hi`); `None` when unsorted.
+///
+/// # Panics
+///
+/// Panics if a segment id is `>= num_segments`.
+fn sorted_segment_runs(seg: &[u32], num_segments: usize) -> Option<Vec<(usize, usize)>> {
+    if seg.windows(2).any(|w| w[0] > w[1]) {
+        return None;
+    }
+    if let Some(&last) = seg.last() {
+        assert!((last as usize) < num_segments, "segment id out of range");
+    }
+    let mut runs = vec![(0usize, 0usize); num_segments.max(1)];
+    let mut r = 0;
+    for (s, run) in runs.iter_mut().enumerate() {
+        let lo = r;
+        while r < seg.len() && seg[r] as usize == s {
+            r += 1;
+        }
+        *run = (lo, r);
+    }
+    Some(runs)
+}
+
+/// Unfolds a padded `[C_in, H, W]` map into the im2col matrix
+/// `[C_in·kh·kw, oh·ow]`: column `oy·ow + ox` holds the receptive field of
+/// output pixel `(oy, ox)`. Out-of-bounds (padding) taps stay zero.
+fn im2col(x: &Tensor, kh: usize, kw: usize, pad: usize, oh: usize, ow: usize) -> Tensor {
+    let (cin, h, wd) = rank3(x);
+    let mut col = Tensor::zeros(&[cin * kh * kw, oh * ow]);
+    col.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(row, crow)| {
+        let ci = row / (kh * kw);
+        let ky = (row / kw) % kh;
+        let kx = row % kw;
+        for oy in 0..oh {
+            let iy = (oy + ky) as isize - pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            // Valid ox range: 0 <= ox + kx - pad < wd.
+            let lo = pad.saturating_sub(kx);
+            let hi = (wd + pad - kx).min(ow);
+            if lo >= hi {
+                continue;
+            }
+            let ix0 = lo + kx - pad;
+            let src = &x.data()[ci * h * wd + iy as usize * wd + ix0..];
+            crow[oy * ow + lo..oy * ow + hi].copy_from_slice(&src[..hi - lo]);
+        }
+    });
+    col
+}
+
+/// Folds the im2col gradient `[C_in·kh·kw, oh·ow]` back onto the input map
+/// (the adjoint of [`im2col`]): overlapping receptive fields accumulate.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    gcol: &Tensor,
+    cin: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    gx: &mut Tensor,
+) {
+    let (oh, ow) = (h + 2 * pad + 1 - kh, wd + 2 * pad + 1 - kw);
+    for row in 0..cin * kh * kw {
+        let ci = row / (kh * kw);
+        let ky = (row / kw) % kh;
+        let kx = row % kw;
+        let crow = &gcol.data()[row * oh * ow..(row + 1) * oh * ow];
+        for oy in 0..oh {
+            let iy = (oy + ky) as isize - pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            let lo = pad.saturating_sub(kx);
+            let hi = (wd + pad - kx).min(ow);
+            if lo >= hi {
+                continue;
+            }
+            let ix0 = lo + kx - pad;
+            let dst = &mut gx.data_mut()[ci * h * wd + iy as usize * wd + ix0..][..hi - lo];
+            for (d, g) in dst.iter_mut().zip(&crow[oy * ow + lo..oy * ow + hi]) {
+                *d += g;
+            }
+        }
+    }
+}
+
 fn conv2d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
     let (cin, h, wd) = rank3(x);
     let ws = w.shape();
@@ -342,32 +530,15 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
     assert_eq!(cin, wcin, "channel mismatch");
     let oh = h + 2 * pad + 1 - kh;
     let ow = wd + 2 * pad + 1 - kw;
-    let mut out = Tensor::zeros(&[cout, oh, ow]);
-    for co in 0..cout {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0;
-                for ci in 0..cin {
-                    for ky in 0..kh {
-                        let iy = (oy + ky) as isize - pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox + kx) as isize - pad as isize;
-                            if ix < 0 || ix >= wd as isize {
-                                continue;
-                            }
-                            acc += x.data()[ci * h * wd + iy as usize * wd + ix as usize]
-                                * w.data()[((co * cin + ci) * kh + ky) * kw + kx];
-                        }
-                    }
-                }
-                out.data_mut()[co * oh * ow + oy * ow + ox] = acc;
-            }
-        }
-    }
-    out
+    // im2col: the convolution becomes one dense [cout, cin·kh·kw] ×
+    // [cin·kh·kw, oh·ow] product, which reuses the blocked/parallel matmul.
+    // Products accumulate in the same (ci, ky, kx) order as a direct loop
+    // (padding taps contribute exact zeros), so values match the naive
+    // kernel.
+    let col = im2col(x, kh, kw, pad, oh, ow);
+    let w2d = Tensor::from_vec(&[cout, cin * kh * kw], w.data().to_vec());
+    let out2d = w2d.matmul(&col);
+    Tensor::from_vec(&[cout, oh, ow], out2d.data().to_vec())
 }
 
 fn accumulate(slot: &mut Option<Tensor>, shape: &[usize], add: impl FnOnce(&mut Tensor)) {
@@ -376,7 +547,7 @@ fn accumulate(slot: &mut Option<Tensor>, shape: &[usize], add: impl FnOnce(&mut 
 }
 
 #[allow(clippy::too_many_lines)]
-fn backward_node(nodes: &[Node], id: usize, g: &Tensor, grads: &mut Vec<Option<Tensor>>) {
+fn backward_node(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
     match &nodes[id].op {
         Op::Leaf { .. } => {}
         Op::MatMul(a, b) => {
@@ -569,62 +740,24 @@ fn backward_node(nodes: &[Node], id: usize, g: &Tensor, grads: &mut Vec<Option<T
             let (cout, kh, kw) = (ws[0], ws[2], ws[3]);
             let (oh, ow) = (h + 2 * pad + 1 - kh, wd + 2 * pad + 1 - kw);
             let pad = *pad;
+            // Both gradients route through the forward's im2col matrix:
+            //   gw = g₂d · colᵀ        [cout, cin·kh·kw]
+            //   gx = col2im(w₂dᵀ · g₂d) [cin, h, w]
+            // so the heavy lifting is two blocked/parallel matmuls; the
+            // im2col matrix is recomputed rather than kept alive on the
+            // tape (memory over speed — one col per graph node would
+            // dominate the tape's footprint).
+            let col = im2col(&tx, kh, kw, pad, oh, ow);
+            let g2d = Tensor::from_vec(&[cout, oh * ow], g.data().to_vec());
+            let w2d = Tensor::from_vec(&[cout, cin * kh * kw], tw.data().to_vec());
+            let gw2d = g2d.matmul(&col.transposed());
+            let gcol = w2d.transposed().matmul(&g2d);
             accumulate(&mut grads[*x], tx.shape(), |gx| {
-                for co in 0..cout {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let gv = g.data()[co * oh * ow + oy * ow + ox];
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            for ci in 0..cin {
-                                for ky in 0..kh {
-                                    let iy = (oy + ky) as isize - pad as isize;
-                                    if iy < 0 || iy >= h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..kw {
-                                        let ix = (ox + kx) as isize - pad as isize;
-                                        if ix < 0 || ix >= wd as isize {
-                                            continue;
-                                        }
-                                        gx.data_mut()
-                                            [ci * h * wd + iy as usize * wd + ix as usize] += gv
-                                            * tw.data()[((co * cin + ci) * kh + ky) * kw + kx];
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+                col2im(&gcol, cin, h, wd, kh, kw, pad, gx);
             });
             accumulate(&mut grads[*w], tw.shape(), |gw| {
-                for co in 0..cout {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let gv = g.data()[co * oh * ow + oy * ow + ox];
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            for ci in 0..cin {
-                                for ky in 0..kh {
-                                    let iy = (oy + ky) as isize - pad as isize;
-                                    if iy < 0 || iy >= h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..kw {
-                                        let ix = (ox + kx) as isize - pad as isize;
-                                        if ix < 0 || ix >= wd as isize {
-                                            continue;
-                                        }
-                                        gw.data_mut()[((co * cin + ci) * kh + ky) * kw + kx] +=
-                                            gv * tx.data()
-                                                [ci * h * wd + iy as usize * wd + ix as usize];
-                                    }
-                                }
-                            }
-                        }
-                    }
+                for (dst, src) in gw.data_mut().iter_mut().zip(gw2d.data()) {
+                    *dst += src;
                 }
             });
         }
@@ -683,6 +816,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Var<'t>) -> Var<'t> {
         let mut v = self.val();
         v.add_assign(&other.val());
@@ -730,6 +864,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Var<'t>) -> Var<'t> {
         let a = self.val();
         let b = other.val();
@@ -746,6 +881,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Var<'t>) -> Var<'t> {
         let a = self.val();
         let b = other.val();
@@ -903,10 +1039,8 @@ mod tests {
     #[test]
     fn maxpool_picks_maxima() {
         let tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec(
-            &[1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 9.0, 2.0],
-        ));
+        let x = tape
+            .constant(Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 9.0, 2.0]));
         let y = tape.maxpool2d(x, 2);
         assert_eq!(tape.value(y).shape(), &[1, 1, 2]);
         assert_eq!(tape.value(y).data(), &[5.0, 9.0]);

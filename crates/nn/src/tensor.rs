@@ -1,6 +1,45 @@
 //! Dense row-major float tensors.
 
 use rand::Rng;
+use rayon::prelude::*;
+
+use crate::parallel;
+
+/// Rows of the left operand processed per block; sized so a block of
+/// output rows stays cache-resident while a `K_BLOCK`-row panel of the
+/// right operand streams through.
+const MM_ROW_BLOCK: usize = 8;
+/// Depth (`k`) tile width for the blocked kernel.
+const MM_K_BLOCK: usize = 128;
+/// FLOP count (`2·m·k·n`) above which `matmul` fans out across threads.
+const MM_PAR_FLOPS: usize = 1 << 17;
+
+/// Blocked matmul over a contiguous band of output rows.
+///
+/// `a` holds the band's rows of the left operand (`rows × k`), `b` the full
+/// right operand (`k × n`), `out` the band's output (`rows × n`, zeroed).
+/// Every output element accumulates its `k` products in ascending-`k`
+/// order — the same order as the textbook triple loop — so the blocked,
+/// serial, and row-parallel paths all produce bit-identical results.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = out.len() / n;
+    for i0 in (0..m).step_by(MM_ROW_BLOCK) {
+        let i1 = (i0 + MM_ROW_BLOCK).min(m);
+        for k0 in (0..k).step_by(MM_K_BLOCK) {
+            let k1 = (k0 + MM_K_BLOCK).min(k);
+            for i in i0..i1 {
+                let a_row = &a[i * k + k0..i * k + k1];
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[(k0 + p) * n..(k0 + p + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// A dense tensor of `f32` values with a row-major layout.
 ///
@@ -154,11 +193,44 @@ impl Tensor {
 
     /// Matrix product `self · other` for rank-2 tensors.
     ///
+    /// Uses a cache-blocked kernel, splitting output rows across threads
+    /// when the product is large enough to amortize the fan-out. Results
+    /// are bit-identical across thread counts (each output element always
+    /// accumulates in ascending-`k` order).
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions mismatch.
     #[must_use]
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");
+        let mut out = Tensor::zeros(&[m, n]);
+        if m > 1 && parallel::should_parallelize(2 * m * k * n, MM_PAR_FLOPS) {
+            let band = m.div_ceil(parallel::num_threads()).max(1);
+            out.data.par_chunks_mut(band * n).enumerate().for_each(|(ci, chunk)| {
+                let r0 = ci * band;
+                let rows = chunk.len() / n;
+                matmul_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
+            });
+        } else {
+            matmul_rows(&self.data, &other.data, &mut out.data, k, n);
+        }
+        out
+    }
+
+    /// Matrix product specialized for a left operand known to be mostly
+    /// zeros (one-hot selections, binary masks): rows are scanned and zero
+    /// entries skip their whole `b`-row term. On dense inputs this branchy
+    /// loop is much slower than [`Tensor::matmul`] — call it only when the
+    /// caller can prove sparsity structurally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    #[must_use]
+    pub fn matmul_zero_skip(&self, other: &Tensor) -> Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");

@@ -169,9 +169,7 @@ mod tests {
             .find(|(_, c)| !lib.cell_type(c.type_id).is_sequential())
             .map(|(id, c)| (id, c.clone()))
             .unwrap();
-        let up = lib
-            .pick(lib.cell_type(cell.type_id).gate, 8)
-            .unwrap();
+        let up = lib.pick(lib.cell_type(cell.type_id).gate, 8).unwrap();
         after.resize_cell(cid, up, &lib).unwrap();
         let d = diff_netlists(&before, &after, &lib);
         assert_eq!(d.replaced_net_edges, 0);

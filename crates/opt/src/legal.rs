@@ -125,15 +125,8 @@ impl DensityTracker {
     ) -> Result<Point, LegalityViolation> {
         let mut last = LegalityViolation::Density;
         let (bw, bh) = self.occupancy.bin_size();
-        let offsets = [
-            (0.0, 0.0),
-            (bw, 0.0),
-            (-bw, 0.0),
-            (0.0, bh),
-            (0.0, -bh),
-            (bw, bh),
-            (-bw, -bh),
-        ];
+        let offsets =
+            [(0.0, 0.0), (bw, 0.0), (-bw, 0.0), (0.0, bh), (0.0, -bh), (bw, bh), (-bw, -bh)];
         for (dx, dy) in offsets {
             let cand = placement.floorplan().die.clamp(Point::new(p.x + dx, p.y + dy));
             match self.check(placement, cand, extra_area) {
@@ -165,10 +158,7 @@ mod tests {
         let (lib, nl, pl) = world(0.5);
         let t = DensityTracker::new(&nl, &lib, &pl, 16, 0.8);
         let m = pl.floorplan().macros[0];
-        assert_eq!(
-            t.check(&pl, m.center(), 0.1),
-            Err(LegalityViolation::Macro)
-        );
+        assert_eq!(t.check(&pl, m.center(), 0.1), Err(LegalityViolation::Macro));
     }
 
     #[test]

@@ -54,6 +54,5 @@ pub use legal::{DensityTracker, LegalityViolation};
 pub use optimizer::optimize;
 pub use transforms::{
     bypass_inverter_pair, bypass_repeater, decompose_gate, insert_buffer, prune_dangling,
-    split_high_fanout,
-    TransformError,
+    split_high_fanout, TransformError,
 };

@@ -153,10 +153,7 @@ fn recover_area(
             let ty = library.cell_type(c.type_id);
             let dty = library.cell_type(down);
             // Current load-dependent part of the cell delay, from any arc.
-            let cell_delay = c
-                .inputs
-                .iter()
-                .find_map(|&i| sta.cell_edge_delay(i, c.output))?;
+            let cell_delay = c.inputs.iter().find_map(|&i| sta.cell_edge_delay(i, c.output))?;
             let drive_part = (cell_delay - ty.intrinsic_ps).max(0.0);
             let delta = drive_part * (dty.drive_res_kohm / ty.drive_res_kohm - 1.0)
                 + (dty.intrinsic_ps - ty.intrinsic_ps);
@@ -204,9 +201,7 @@ impl BestState {
     }
 
     fn offer(&mut self, netlist: &Netlist, placement: &Placement, sta: &StaReport) {
-        if sta.wns > self.wns + 1e-6
-            || (sta.wns >= self.wns - 1e-6 && sta.tns > self.tns + 1e-6)
-        {
+        if sta.wns > self.wns + 1e-6 || (sta.wns >= self.wns - 1e-6 && sta.tns > self.tns + 1e-6) {
             self.netlist = netlist.clone();
             self.placement = placement.clone();
             self.wns = sta.wns;
@@ -240,9 +235,7 @@ fn restructure_cones(
         .endpoints()
         .iter()
         .copied()
-        .filter(|&v| {
-            sta.arrival(graph.pin_of(v)).is_some_and(|a| a > config.clock_period_ps)
-        })
+        .filter(|&v| sta.arrival(graph.pin_of(v)).is_some_and(|a| a > config.clock_period_ps))
         .collect();
     for &v in &stack {
         in_cone[v as usize] = true;
@@ -266,21 +259,14 @@ fn restructure_cones(
                 GateFn::And3 | GateFn::And4 | GateFn::Or3 | GateFn::Or4
             )
         })
-        .filter(|(_, c)| {
-            graph
-                .node_of(c.output)
-                .is_some_and(|v| in_cone[v as usize])
-        })
+        .filter(|(_, c)| graph.node_of(c.output).is_some_and(|v| in_cone[v as usize]))
         .map(|(id, _)| id)
         .collect();
 
     for cell in candidates {
         let ty = library.cell_type(netlist.cell(cell).type_id);
-        let two_input = if matches!(ty.gate, GateFn::And3 | GateFn::And4) {
-            GateFn::And2
-        } else {
-            GateFn::Or2
-        };
+        let two_input =
+            if matches!(ty.gate, GateFn::And3 | GateFn::And4) { GateFn::And2 } else { GateFn::Or2 };
         let Some(ty2) = library
             .pick(two_input, ty.drive)
             .or_else(|| library.variants(two_input).first().copied())
@@ -288,8 +274,7 @@ fn restructure_cones(
             continue;
         };
         let extra =
-            (library.cell_type(ty2).area_um2 * (ty.num_inputs() - 1) as f32 - ty.area_um2)
-                .max(0.0);
+            (library.cell_type(ty2).area_um2 * (ty.num_inputs() - 1) as f32 - ty.area_um2).max(0.0);
         let pos = placement.cell_pos(cell);
         match density.check(placement, pos, extra) {
             Ok(()) => {
@@ -366,10 +351,8 @@ fn drv_fix(
     }
 
     // Max-length buffering on every remaining long edge.
-    let edges: Vec<(NetId, PinId)> = netlist
-        .nets()
-        .flat_map(|(id, n)| n.sinks.iter().map(move |&s| (id, s)))
-        .collect();
+    let edges: Vec<(NetId, PinId)> =
+        netlist.nets().flat_map(|(id, n)| n.sinks.iter().map(move |&s| (id, s))).collect();
     for (net, sink) in edges {
         if !netlist.net(net).is_alive() || !netlist.net(net).sinks.contains(&sink) {
             continue;
@@ -435,7 +418,14 @@ fn plan_pass(
                         continue;
                     }
                     if let Some(a) = plan_cell_action(
-                        netlist, placement, library, sta, config, &mut density, report, cell,
+                        netlist,
+                        placement,
+                        library,
+                        sta,
+                        config,
+                        &mut density,
+                        report,
+                        cell,
                         buf_len,
                     ) {
                         if let Action::InvPair(_, second) = a {
@@ -501,7 +491,9 @@ fn plan_cell_action(
     // Repeater bypass: free speedup, no legality needed — but only for
     // buffers that are not doing useful wire splitting (short wires on both
     // sides), so the optimizer never undoes its own insertions.
-    if config.bypass && ty.gate == GateFn::Buf && repeater_is_useless(netlist, placement, cell, buf_len)
+    if config.bypass
+        && ty.gate == GateFn::Buf
+        && repeater_is_useless(netlist, placement, cell, buf_len)
     {
         return Some(Action::Bypass(cell));
     }
@@ -515,11 +507,8 @@ fn plan_cell_action(
     if config.decomposition
         && matches!(ty.gate, GateFn::And3 | GateFn::And4 | GateFn::Or3 | GateFn::Or4)
     {
-        let two_input = if matches!(ty.gate, GateFn::And3 | GateFn::And4) {
-            GateFn::And2
-        } else {
-            GateFn::Or2
-        };
+        let two_input =
+            if matches!(ty.gate, GateFn::And3 | GateFn::And4) { GateFn::And2 } else { GateFn::Or2 };
         let ty2 = library
             .pick(two_input, ty.drive)
             .or_else(|| library.variants(two_input).first().copied())?;
@@ -528,16 +517,10 @@ fn plan_cell_action(
         match density.check(placement, pos, extra) {
             Ok(()) => {
                 density.commit(pos, extra);
-                let mut order: Vec<(PinId, f32)> = c
-                    .inputs
-                    .iter()
-                    .map(|&p| (p, sta.arrival(p).unwrap_or(0.0)))
-                    .collect();
+                let mut order: Vec<(PinId, f32)> =
+                    c.inputs.iter().map(|&p| (p, sta.arrival(p).unwrap_or(0.0))).collect();
                 order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-                return Some(Action::Decompose(
-                    cell,
-                    order.into_iter().map(|(p, _)| p).collect(),
-                ));
+                return Some(Action::Decompose(cell, order.into_iter().map(|(p, _)| p).collect()));
             }
             Err(LegalityViolation::Density) => report.blocked_by_density += 1,
             Err(LegalityViolation::Macro) => report.blocked_by_macro += 1,
@@ -583,11 +566,7 @@ fn repeater_is_useless(
 
 /// Finds the inverter `second` such that `first` drives only `second`'s
 /// input, making the pair a logic identity.
-fn inverter_partner(
-    netlist: &Netlist,
-    library: &CellLibrary,
-    first: CellId,
-) -> Option<CellId> {
+fn inverter_partner(netlist: &Netlist, library: &CellLibrary, first: CellId) -> Option<CellId> {
     let out_net = netlist.pin(netlist.cell(first).output).net?;
     let sinks = &netlist.net(out_net).sinks;
     if sinks.len() != 1 {
@@ -609,21 +588,18 @@ fn apply_actions(
     let mut applied = 0;
     for action in actions {
         let ok = match action {
-            Action::Bypass(c) => bypass_repeater(netlist, library, c)
-                .map(|_| report.bypass_ops += 1)
-                .is_ok(),
-            Action::InvPair(a, b) => bypass_inverter_pair(netlist, library, a, b)
-                .map(|_| report.bypass_ops += 1)
-                .is_ok(),
-            Action::Decompose(c, order) => {
-                decompose_gate(netlist, placement, library, c, &order)
-                    .map(|_| report.decompose_ops += 1)
-                    .is_ok()
+            Action::Bypass(c) => {
+                bypass_repeater(netlist, library, c).map(|_| report.bypass_ops += 1).is_ok()
             }
-            Action::Upsize(c, ty) => netlist
-                .resize_cell(c, ty, library)
-                .map(|()| report.sizing_ops += 1)
+            Action::InvPair(a, b) => {
+                bypass_inverter_pair(netlist, library, a, b).map(|_| report.bypass_ops += 1).is_ok()
+            }
+            Action::Decompose(c, order) => decompose_gate(netlist, placement, library, c, &order)
+                .map(|_| report.decompose_ops += 1)
                 .is_ok(),
+            Action::Upsize(c, ty) => {
+                netlist.resize_cell(c, ty, library).map(|()| report.sizing_ops += 1).is_ok()
+            }
             Action::Buffer(net, sink, pos) => {
                 insert_buffer(netlist, placement, library, net, sink, pos)
                     .map(|_| report.buffer_ops += 1)
@@ -638,10 +614,7 @@ fn apply_actions(
 }
 
 fn buffer_area(library: &CellLibrary) -> f32 {
-    library
-        .pick(GateFn::Buf, 4)
-        .map(|t| library.cell_type(t).area_um2)
-        .unwrap_or(0.5)
+    library.pick(GateFn::Buf, 4).map(|t| library.cell_type(t).area_um2).unwrap_or(0.5)
 }
 
 /// Walks the critical path backwards from endpoint node `ep`: at each node,
@@ -699,12 +672,7 @@ mod tests {
         let cfg = OptConfig { clock_period_ps: period, ..OptConfig::default() };
         let rep = optimize(&mut nl, &mut pl, &lib, &cfg);
         assert!(rep.wns_before < 0.0, "period should start violated");
-        assert!(
-            rep.wns_after > rep.wns_before,
-            "wns {} -> {}",
-            rep.wns_before,
-            rep.wns_after
-        );
+        assert!(rep.wns_after > rep.wns_before, "wns {} -> {}", rep.wns_before, rep.wns_after);
         assert!(rep.total_ops() > 0);
         nl.validate().unwrap();
     }
@@ -731,11 +699,8 @@ mod tests {
         let d = GenParams::new("e", 400, 33).generate(&lib);
         let before = d.netlist.clone();
         let graph_before = TimingGraph::build(&before, &lib);
-        let endpoint_pins: Vec<PinId> = graph_before
-            .endpoints()
-            .iter()
-            .map(|&v| graph_before.pin_of(v))
-            .collect();
+        let endpoint_pins: Vec<PinId> =
+            graph_before.endpoints().iter().map(|&v| graph_before.pin_of(v)).collect();
 
         let mut nl = d.netlist;
         let mut pl = place(&nl, &lib, 0, &PlaceConfig::default());
@@ -817,11 +782,8 @@ mod tests {
             let pcfg = PlaceConfig { utilization: util, ..PlaceConfig::default() };
             let mut pl = place(&nl, &lib, 0, &pcfg);
             let period = tight_period(&nl, &pl, &lib, 0.55);
-            let cfg = OptConfig {
-                clock_period_ps: period,
-                density_limit: 0.75,
-                ..OptConfig::default()
-            };
+            let cfg =
+                OptConfig { clock_period_ps: period, density_limit: 0.75, ..OptConfig::default() };
             optimize(&mut nl, &mut pl, &lib, &cfg)
         };
         let sparse = run(0.35);

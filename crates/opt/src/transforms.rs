@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rtt_netlist::{
-    CellId, CellLibrary, GateFn, NetId, Netlist, NetlistError, PinId,
-};
+use rtt_netlist::{CellId, CellLibrary, GateFn, NetId, Netlist, NetlistError, PinId};
 use rtt_place::{Placement, Point};
 
 /// Errors raised by optimizer transforms.
@@ -120,25 +118,18 @@ pub fn decompose_gate(
     let k = ty.num_inputs();
     {
         let ins = &nl.cell(cell).inputs;
-        if inputs_by_arrival.len() != k
-            || !inputs_by_arrival.iter().all(|p| ins.contains(p))
-        {
+        if inputs_by_arrival.len() != k || !inputs_by_arrival.iter().all(|p| ins.contains(p)) {
             return Err(TransformError::NotApplicable("input order must cover the inputs"));
         }
     }
     let out_pin = nl.cell(cell).output;
-    let out_net = nl
-        .pin(out_pin)
-        .net
-        .ok_or(TransformError::NotApplicable("output is unconnected"))?;
+    let out_net =
+        nl.pin(out_pin).net.ok_or(TransformError::NotApplicable("output is unconnected"))?;
 
     // Source net of each input, in arrival order.
     let mut sources = Vec::with_capacity(k);
     for &p in inputs_by_arrival {
-        let src = nl
-            .pin(p)
-            .net
-            .ok_or(TransformError::NotApplicable("input is unconnected"))?;
+        let src = nl.pin(p).net.ok_or(TransformError::NotApplicable("input is unconnected"))?;
         sources.push(src);
     }
 
@@ -176,10 +167,7 @@ pub fn decompose_gate(
         let jitter = 0.4 * (i as f32 + 1.0);
         placement.place_cell(
             c,
-            placement
-                .floorplan()
-                .die
-                .clamp(Point::new(base_pos.x + jitter, base_pos.y)),
+            placement.floorplan().die.clamp(Point::new(base_pos.x + jitter, base_pos.y)),
         );
         prev_out = Some(o);
         new_cells.push(c);
@@ -197,7 +185,11 @@ pub fn decompose_gate(
 /// # Errors
 ///
 /// Fails if `cell` is not a live buffer or its pins are unconnected.
-pub fn bypass_repeater(nl: &mut Netlist, library: &CellLibrary, cell: CellId) -> Result<(), TransformError> {
+pub fn bypass_repeater(
+    nl: &mut Netlist,
+    library: &CellLibrary,
+    cell: CellId,
+) -> Result<(), TransformError> {
     if !nl.cell(cell).is_alive() {
         return Err(TransformError::NotApplicable("cell already removed"));
     }
@@ -206,10 +198,8 @@ pub fn bypass_repeater(nl: &mut Netlist, library: &CellLibrary, cell: CellId) ->
     }
     let in_pin = nl.cell(cell).inputs[0];
     let out_pin = nl.cell(cell).output;
-    let in_net = nl
-        .pin(in_pin)
-        .net
-        .ok_or(TransformError::NotApplicable("buffer input unconnected"))?;
+    let in_net =
+        nl.pin(in_pin).net.ok_or(TransformError::NotApplicable("buffer input unconnected"))?;
     if let Some(out_net) = nl.pin(out_pin).net {
         let sinks = nl.net(out_net).sinks.clone();
         nl.remove_net(out_net)?;
@@ -353,8 +343,7 @@ pub fn prune_dangling(nl: &mut Netlist, library: &CellLibrary) -> usize {
         let dangling: Vec<CellId> = nl
             .cells()
             .filter(|(_, c)| {
-                !library.cell_type(c.type_id).is_sequential()
-                    && nl.pin(c.output).net.is_none()
+                !library.cell_type(c.type_id).is_sequential() && nl.pin(c.output).net.is_none()
             })
             .map(|(id, _)| id)
             .collect();
@@ -378,8 +367,8 @@ pub fn prune_dangling(nl: &mut Netlist, library: &CellLibrary) -> usize {
 mod tests {
     use super::*;
     use rtt_circgen::ripple_carry_adder;
-    use rtt_place::{place, PlaceConfig};
     use rtt_netlist::TimingGraph;
+    use rtt_place::{place, PlaceConfig};
 
     fn world() -> (CellLibrary, Netlist, Placement) {
         let lib = CellLibrary::asap7_like();
@@ -410,11 +399,7 @@ mod tests {
     fn buffer_insertion_on_foreign_sink_fails() {
         let (lib, mut nl, mut pl) = world();
         let (net_a, _) = nl.nets().next().unwrap();
-        let other_sink = nl
-            .nets()
-            .find(|(nid, _)| *nid != net_a)
-            .map(|(_, n)| n.sinks[0])
-            .unwrap();
+        let other_sink = nl.nets().find(|(nid, _)| *nid != net_a).map(|(_, n)| n.sinks[0]).unwrap();
         let r = insert_buffer(&mut nl, &mut pl, &lib, net_a, other_sink, Point::default());
         assert!(matches!(r, Err(TransformError::NotApplicable(_))));
     }
@@ -458,10 +443,8 @@ mod tests {
     fn decompose_rejects_bad_targets() {
         let (lib, mut nl, mut pl) = world();
         // XOR gates must be rejected.
-        let (xor, _) = nl
-            .cells()
-            .find(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Xor2)
-            .unwrap();
+        let (xor, _) =
+            nl.cells().find(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Xor2).unwrap();
         let ins = nl.cell(xor).inputs.clone();
         assert!(matches!(
             decompose_gate(&mut nl, &mut pl, &lib, xor, &ins),
@@ -494,10 +477,8 @@ mod tests {
     #[test]
     fn bypass_rejects_non_buffers() {
         let (lib, mut nl, _) = world();
-        let (xor, _) = nl
-            .cells()
-            .find(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Xor2)
-            .unwrap();
+        let (xor, _) =
+            nl.cells().find(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Xor2).unwrap();
         assert!(matches!(
             bypass_repeater(&mut nl, &lib, xor),
             Err(TransformError::NotApplicable(_))

@@ -157,7 +157,7 @@ impl Grid {
     /// Panics if `factor` does not divide both dimensions.
     #[must_use]
     pub fn avg_pool(&self, factor: usize) -> Grid {
-        assert!(factor > 0 && self.w % factor == 0 && self.h % factor == 0);
+        assert!(factor > 0 && self.w.is_multiple_of(factor) && self.h.is_multiple_of(factor));
         let (nw, nh) = (self.w / factor, self.h / factor);
         let mut out = Grid::new(nw, nh, self.die);
         let inv = 1.0 / (factor * factor) as f32;

@@ -211,10 +211,7 @@ mod tests {
         let (_, nl, pl) = world();
         let mut text = write_placement(&nl, &pl);
         text.push_str("CELL ghost 1 1\n");
-        assert!(matches!(
-            parse_placement(&nl, &text),
-            Err(PlacementIoError::UnknownCell(_))
-        ));
+        assert!(matches!(parse_placement(&nl, &text), Err(PlacementIoError::UnknownCell(_))));
     }
 
     #[test]
@@ -223,10 +220,7 @@ mod tests {
         let text = write_placement(&nl, &pl);
         let without_die: String =
             text.lines().filter(|l| !l.starts_with("DIE")).collect::<Vec<_>>().join("\n");
-        assert!(matches!(
-            parse_placement(&nl, &without_die),
-            Err(PlacementIoError::MissingDie)
-        ));
+        assert!(matches!(parse_placement(&nl, &without_die), Err(PlacementIoError::MissingDie)));
 
         let first_cell_dropped: String = {
             let mut dropped = false;

@@ -193,10 +193,8 @@ fn carve_macros(die: Rect, count: usize, fraction: f32, rng: &mut StdRng) -> Vec
 
 fn random_placeable(fp: &Floorplan, rng: &mut StdRng) -> Point {
     for _ in 0..128 {
-        let p = Point::new(
-            rng.gen_range(fp.die.x0..fp.die.x1),
-            rng.gen_range(fp.die.y0..fp.die.y1),
-        );
+        let p =
+            Point::new(rng.gen_range(fp.die.x0..fp.die.x1), rng.gen_range(fp.die.y0..fp.die.y1));
         if fp.is_placeable(p) {
             return p;
         }
@@ -240,10 +238,8 @@ fn refine(
             }
             let old = placement.cell_pos(cid);
             let target = Point::new(sx / n as f32, sy / n as f32);
-            let mut new = Point::new(
-                old.x + alpha * (target.x - old.x),
-                old.y + alpha * (target.y - old.y),
-            );
+            let mut new =
+                Point::new(old.x + alpha * (target.x - old.x), old.y + alpha * (target.y - old.y));
             new = placement.floorplan.die.clamp(new);
             new = push_out_of_macros(&placement.floorplan, new, old);
             placement.cell_pos[cid.index()] = new;
@@ -268,9 +264,7 @@ fn push_out_of_macros(fp: &Floorplan, p: Point, fallback: Point) -> Point {
             let best = cands
                 .into_iter()
                 .filter(|c| fp.die.contains(*c))
-                .min_by(|a, b| {
-                    a.manhattan(p).partial_cmp(&b.manhattan(p)).expect("finite")
-                });
+                .min_by(|a, b| a.manhattan(p).partial_cmp(&b.manhattan(p)).expect("finite"));
             return best.unwrap_or(fallback);
         }
     }
@@ -288,8 +282,7 @@ fn spread(
     let fp = placement.floorplan.clone();
     // Adapt the grid so an average bin holds several cells; a grid finer
     // than the design cannot express meaningful density.
-    let bins = ((netlist.num_cells() as f32 / 8.0).sqrt().floor() as usize)
-        .clamp(2, config.bins);
+    let bins = ((netlist.num_cells() as f32 / 8.0).sqrt().floor() as usize).clamp(2, config.bins);
     let mut occupancy = Grid::new(bins, bins, fp.die);
     let mut members: Vec<Vec<CellId>> = vec![Vec::new(); bins * bins];
     for (cid, cell) in netlist.cells() {
@@ -301,9 +294,9 @@ fn spread(
     }
     let (bw, bh) = occupancy.bin_size();
     let capacity = bw * bh; // utilization-1.0 capacity per bin
-    // Allow modest clumping over the average, hard-capped below 1.0 so the
-    // downstream optimizer's legality checks see real whitespace structure
-    // rather than uniformly saturated bins.
+                            // Allow modest clumping over the average, hard-capped below 1.0 so the
+                            // downstream optimizer's legality checks see real whitespace structure
+                            // rather than uniformly saturated bins.
     let limit = capacity * (config.utilization.max(0.2) * 1.25).min(0.92);
 
     for by in 0..bins {
@@ -331,7 +324,7 @@ fn spread(
                         }
                         let (nx, ny) = (nx as usize, ny as usize);
                         let l = occupancy.at(nx, ny);
-                        if best.map_or(true, |(_, _, bl)| l < bl) {
+                        if best.is_none_or(|(_, _, bl)| l < bl) {
                             best = Some((nx, ny, l));
                         }
                     }

@@ -30,5 +30,5 @@ mod router;
 mod steiner;
 
 pub use rc::{elmore_delays, RcTree};
-pub use router::{route, rudy_map, RoutedNet, RouteConfig, Routing};
+pub use router::{route, rudy_map, RouteConfig, RoutedNet, Routing};
 pub use steiner::{rectilinear_mst, tree_length};

@@ -95,7 +95,7 @@ pub fn elmore_delays(tree: &RcTree) -> Vec<f32> {
     // compute an ordering by repeatedly following parents (tree depth).
     let mut order: Vec<usize> = (0..n).collect();
     let mut depth = vec![0u32; n];
-    for i in 1..n {
+    for (i, di) in depth.iter_mut().enumerate().skip(1) {
         let mut d = 0;
         let mut v = i;
         while v != 0 {
@@ -104,7 +104,7 @@ pub fn elmore_delays(tree: &RcTree) -> Vec<f32> {
             d += 1;
             assert!(d as usize <= n, "parent cycle in RC tree");
         }
-        depth[i] = d;
+        *di = d;
     }
     order.sort_unstable_by_key(|&i| std::cmp::Reverse(depth[i]));
 

@@ -145,12 +145,7 @@ pub fn route(
             let factor = detour_factor(&congestion, mean_c, macros, points[a], points[b], config);
             let len = base * factor;
             wl += len;
-            tree.set_edge(
-                a,
-                b,
-                len * config.unit_res_kohm_per_um,
-                len * config.unit_cap_ff_per_um,
-            );
+            tree.set_edge(a, b, len * config.unit_res_kohm_per_um, len * config.unit_cap_ff_per_um);
         }
         for (i, &s) in net.sinks.iter().enumerate() {
             let cap = match netlist.pin(s).cell {
@@ -160,12 +155,7 @@ pub fn route(
             tree.add_node_cap(i + 1, cap);
         }
         let delays = elmore_delays(&tree);
-        let sink_delay = net
-            .sinks
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s, delays[i + 1]))
-            .collect();
+        let sink_delay = net.sinks.iter().enumerate().map(|(i, &s)| (s, delays[i + 1])).collect();
         total_wl += f64::from(wl);
         nets[nid.index()] = Some(RoutedNet {
             net: nid,
@@ -273,11 +263,8 @@ mod tests {
     #[test]
     fn detours_only_lengthen() {
         let (lib, nl, pl) = setup(300, 2);
-        let no_detour = RouteConfig {
-            detour_strength: 0.0,
-            macro_detour: 0.0,
-            ..RouteConfig::default()
-        };
+        let no_detour =
+            RouteConfig { detour_strength: 0.0, macro_detour: 0.0, ..RouteConfig::default() };
         let base = route(&nl, &lib, &pl, &no_detour);
         let full = route(&nl, &lib, &pl, &RouteConfig::default());
         assert!(full.total_wirelength() >= base.total_wirelength());

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use rtt_netlist::{
-    CellLibrary, EdgeKind, Netlist, PinDir, PinId, TimingEdge, TimingGraph,
-};
+use rtt_netlist::{CellLibrary, EdgeKind, Netlist, PinDir, PinId, TimingEdge, TimingGraph};
 use rtt_place::Placement;
 use rtt_route::Routing;
 
@@ -79,9 +77,7 @@ pub fn run_sta(
     let load_of = |driver: PinId| -> f32 {
         let Some(net_id) = netlist.pin(driver).net else { return 0.0 };
         match wire {
-            WireModel::Routed(routing) => {
-                routing.net(net_id).map_or(0.0, |rn| rn.total_cap_ff)
-            }
+            WireModel::Routed(routing) => routing.net(net_id).map_or(0.0, |rn| rn.total_cap_ff),
             WireModel::PreRoute(placement) => {
                 let net = netlist.net(net_id);
                 let d = placement.pin_position(netlist, driver);
@@ -217,11 +213,8 @@ pub fn run_sta(
         let r = required_nodes[v as usize];
         required[graph.pin_of(v).index()] = if r.is_finite() { r } else { f32::NAN };
     }
-    let endpoints: Vec<(PinId, f32)> = graph
-        .endpoints()
-        .iter()
-        .map(|&v| (graph.pin_of(v), arrival_nodes[v as usize]))
-        .collect();
+    let endpoints: Vec<(PinId, f32)> =
+        graph.endpoints().iter().map(|&v| (graph.pin_of(v), arrival_nodes[v as usize])).collect();
 
     let mut wns = f32::INFINITY;
     let mut tns = 0.0f32;
@@ -302,13 +295,8 @@ mod tests {
         let w = world(|lib| ripple_carry_adder(8, lib));
         let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
         // cout (end of the carry chain) must be the slowest endpoint.
-        let cout = w
-            .nl
-            .output_ports()
-            .iter()
-            .copied()
-            .find(|&p| w.nl.pin(p).name == "cout")
-            .unwrap();
+        let cout =
+            w.nl.output_ports().iter().copied().find(|&p| w.nl.pin(p).name == "cout").unwrap();
         let cout_arr = rep.arrival(cout).unwrap();
         assert!((rep.max_arrival() - cout_arr).abs() < 1e-3);
     }
@@ -317,17 +305,10 @@ mod tests {
     fn wns_tns_match_endpoints() {
         let w = world(|lib| ripple_carry_adder(6, lib));
         let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 100.0);
-        let min_slack = rep
-            .endpoint_arrivals()
-            .iter()
-            .map(|&(_, a)| 100.0 - a)
-            .fold(f32::INFINITY, f32::min);
+        let min_slack =
+            rep.endpoint_arrivals().iter().map(|&(_, a)| 100.0 - a).fold(f32::INFINITY, f32::min);
         assert!((rep.wns - min_slack).abs() < 1e-4);
-        let neg: f32 = rep
-            .endpoint_arrivals()
-            .iter()
-            .map(|&(_, a)| (100.0 - a).min(0.0))
-            .sum();
+        let neg: f32 = rep.endpoint_arrivals().iter().map(|&(_, a)| (100.0 - a).min(0.0)).sum();
         assert!((rep.tns - neg).abs() < 1e-3);
         assert!(rep.tns <= 0.0);
     }
@@ -336,11 +317,8 @@ mod tests {
     fn flop_outputs_launch_at_clk2q() {
         let w = world(|lib| ripple_carry_adder(4, lib));
         let rep = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
-        let (dff_c, dff) = w
-            .nl
-            .cells()
-            .find(|(_, c)| w.lib.cell_type(c.type_id).is_sequential())
-            .unwrap();
+        let (dff_c, dff) =
+            w.nl.cells().find(|(_, c)| w.lib.cell_type(c.type_id).is_sequential()).unwrap();
         let _ = dff_c;
         let q_arr = rep.arrival(dff.output).unwrap();
         let clk2q = w.lib.cell_type(dff.type_id).intrinsic_ps;
@@ -349,9 +327,7 @@ mod tests {
 
     #[test]
     fn preroute_and_routed_disagree() {
-        let w = world(|lib| {
-            GenParams::new("g", 300, 3).generate(lib).netlist
-        });
+        let w = world(|lib| GenParams::new("g", 300, 3).generate(lib).netlist);
         let pre = run_sta(&w.nl, &w.lib, &w.graph, WireModel::PreRoute(&w.pl), 500.0);
         let post = run_sta(&w.nl, &w.lib, &w.graph, WireModel::Routed(&w.rt), 500.0);
         // Same endpoints, different numbers (detours + tree sharing).

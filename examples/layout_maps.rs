@@ -42,11 +42,8 @@ fn main() {
 
     let out = std::path::Path::new("results/layout_maps");
     std::fs::create_dir_all(out).expect("create output dir");
-    for (name, map) in [
-        ("density", &maps.density),
-        ("rudy", &maps.rudy),
-        ("macros", &maps.macros),
-    ] {
+    for (name, map) in [("density", &maps.density), ("rudy", &maps.rudy), ("macros", &maps.macros)]
+    {
         let mut img = map.clone();
         img.normalize_max();
         let path = out.join(format!("{name}.pgm"));

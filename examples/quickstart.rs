@@ -79,7 +79,7 @@ fn main() {
     );
     let mut model = TimingModel::new(cfg);
     println!("training {} parameters ...", model.num_parameters());
-    model.train(&[prep.clone()], &TrainConfig { epochs: 40, ..TrainConfig::default() });
+    model.train(std::slice::from_ref(&prep), &TrainConfig { epochs: 40, ..TrainConfig::default() });
 
     // 6. Predict and score.
     let pred = model.predict(&prep);

@@ -13,8 +13,8 @@
 
 use std::time::Instant;
 
-use restructure_timing::prelude::*;
 use restructure_timing::flow::FlowConfig;
+use restructure_timing::prelude::*;
 
 fn main() {
     // Build a small training dataset through the real two-flow pipeline.
@@ -23,11 +23,8 @@ fn main() {
     let lib = &dataset.library;
     let cfg = ModelConfig::tiny();
 
-    let train: Vec<PreparedDesign> = dataset
-        .train_designs()
-        .iter()
-        .map(|d| d.prepared(lib, &cfg))
-        .collect();
+    let train: Vec<PreparedDesign> =
+        dataset.train_designs().iter().map(|d| d.prepared(lib, &cfg)).collect();
     let mut model = TimingModel::new(cfg.clone());
     println!("training on {} designs ...", train.len());
     model.train(&train, &TrainConfig { epochs: 30, ..TrainConfig::default() });
@@ -75,8 +72,7 @@ fn main() {
         let rt = route(&opt_nl, lib, &opt_pl, &RouteConfig::default());
         let signoff = run_sta(&opt_nl, lib, &opt_graph, WireModel::Routed(&rt), period);
         let truth_mean = {
-            let arr: Vec<f32> =
-                signoff.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
+            let arr: Vec<f32> = signoff.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
             arr.iter().sum::<f32>() / arr.len() as f32
         };
         let flow_s = t1.elapsed().as_secs_f64();

@@ -89,7 +89,9 @@ fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str,
     opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
 }
 
-fn load_design(opts: &HashMap<String, String>) -> Result<(CellLibrary, Netlist, Placement), String> {
+fn load_design(
+    opts: &HashMap<String, String>,
+) -> Result<(CellLibrary, Netlist, Placement), String> {
     let lib = CellLibrary::asap7_like();
     let v_path = required(opts, "netlist")?;
     let p_path = required(opts, "placement")?;
@@ -109,7 +111,8 @@ fn write_design(
 ) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let v = dir.join(format!("{stem}.v"));
-    std::fs::write(&v, write_verilog(netlist, library)).map_err(|e| format!("{}: {e}", v.display()))?;
+    std::fs::write(&v, write_verilog(netlist, library))
+        .map_err(|e| format!("{}: {e}", v.display()))?;
     let p = dir.join(format!("{stem}.place"));
     std::fs::write(&p, write_placement(netlist, placement))
         .map_err(|e| format!("{}: {e}", p.display()))?;
@@ -177,9 +180,8 @@ fn cmd_sta(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_opt(opts: &HashMap<String, String>) -> Result<(), String> {
     let (lib, mut netlist, mut placement) = load_design(opts)?;
-    let period: f32 = required(opts, "period")?
-        .parse()
-        .map_err(|e| format!("bad --period: {e}"))?;
+    let period: f32 =
+        required(opts, "period")?.parse().map_err(|e| format!("bad --period: {e}"))?;
     let out = PathBuf::from(required(opts, "out")?);
     let before = netlist.clone();
     let report = optimize(
@@ -230,17 +232,12 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     eprintln!("generating the training dataset at scale {scale} (two full flows per design) ...");
     let dataset = Dataset::generate(&FlowConfig { scale, ..FlowConfig::default() });
     let cfg = model_config_for(scale);
-    let train: Vec<PreparedDesign> = dataset
-        .train_designs()
-        .iter()
-        .map(|d| d.prepared(&dataset.library, &cfg))
-        .collect();
+    let train: Vec<PreparedDesign> =
+        dataset.train_designs().iter().map(|d| d.prepared(&dataset.library, &cfg)).collect();
     let mut model = TimingModel::new(cfg.clone());
     eprintln!("training {} parameters for {epochs} epochs ...", model.num_parameters());
-    let log = model.train(
-        &train,
-        &TrainConfig { epochs, lr: 2e-3, log_every: 25, ..TrainConfig::default() },
-    );
+    let log = model
+        .train(&train, &TrainConfig { epochs, lr: 2e-3, log_every: 25, ..TrainConfig::default() });
     eprintln!("final training loss {:.5}", log.final_loss());
     for d in dataset.test_designs() {
         let prep = d.prepared(&dataset.library, &cfg);
@@ -291,10 +288,7 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), String> {
         data.input_graph.endpoints().len(),
         data.clock_period_ps
     );
-    println!(
-        "  without opt: wns {:.1} ps, tns {:.1} ps",
-        data.no_opt.wns, data.no_opt.tns
-    );
+    println!("  without opt: wns {:.1} ps, tns {:.1} ps", data.no_opt.wns, data.no_opt.tns);
     println!(
         "  with opt:    wns {:.1} ps, tns {:.1} ps ({} ops, {:.1}s opt / {:.1}s route / {:.1}s sta)",
         data.signoff.wns,

@@ -75,7 +75,8 @@ fn unknown_command_and_missing_args_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = bin().args(["gen", "--design", "no_such_design", "--out", "/tmp"]).output().expect("run");
+    let out =
+        bin().args(["gen", "--design", "no_such_design", "--out", "/tmp"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design"));
 
@@ -86,10 +87,8 @@ fn unknown_command_and_missing_args_fail_cleanly() {
 
 #[test]
 fn flow_command_prints_replacement_summary() {
-    let out = bin()
-        .args(["flow", "--design", "chacha", "--scale", "tiny"])
-        .output()
-        .expect("run flow");
+    let out =
+        bin().args(["flow", "--design", "chacha", "--scale", "tiny"]).output().expect("run flow");
     assert!(out.status.success(), "flow failed: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("without opt"));

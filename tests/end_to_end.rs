@@ -12,6 +12,7 @@ fn tiny_dataset() -> Dataset {
 }
 
 #[test]
+#[ignore = "slow table reproduction; run with `cargo test -- --ignored`"]
 fn full_pipeline_produces_all_tables() {
     let ds = tiny_dataset();
 
@@ -34,12 +35,7 @@ fn full_pipeline_produces_all_tables() {
     let avg = table2_average(&t2);
     // The CNN-only model has no netlist information: it cannot meaningfully
     // outperform the netlist-aware full model (paper finding 6).
-    assert!(
-        avg.full > avg.cnn_only,
-        "full {} should beat cnn-only {}",
-        avg.full,
-        avg.cnn_only
-    );
+    assert!(avg.full > avg.cnn_only, "full {} should beat cnn-only {}", avg.full, avg.cnn_only);
 
     // Table III.
     let t3 = table3(&ds, &ModelConfig::tiny());
@@ -51,6 +47,7 @@ fn full_pipeline_produces_all_tables() {
 }
 
 #[test]
+#[ignore = "slow multi-design training; run with `cargo test -- --ignored`"]
 fn model_generalizes_across_designs_at_tiny_scale() {
     let ds = tiny_dataset();
     let lib = &ds.library;

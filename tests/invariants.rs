@@ -34,8 +34,8 @@ fn optimized_netlists_remain_valid_dags() {
         let params = preset(name, Scale::Tiny).expect("known preset");
         let d = run_design_flow(&params, &lib, &cfg);
         d.opt_netlist.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
-        let g = TimingGraph::try_build(&d.opt_netlist, &lib)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let g =
+            TimingGraph::try_build(&d.opt_netlist, &lib).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(g.num_nodes() > 0);
     }
 }
