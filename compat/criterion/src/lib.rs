@@ -7,6 +7,8 @@
 //! statistical analysis, each benchmark reports the median and minimum of
 //! `sample_size` timed samples on stdout.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
@@ -113,6 +115,7 @@ impl Bencher {
     /// iteration count so each sample runs for at least ~2 ms.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         // Warm-up and iteration-count calibration.
+        // rtt-lint: allow(D002, reason = "this crate's purpose is wall-clock measurement")
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed();
@@ -120,6 +123,7 @@ impl Bencher {
             as usize;
         self.samples.clear();
         for _ in 0..self.sample_size {
+            // rtt-lint: allow(D002, reason = "this crate's purpose is wall-clock measurement")
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(f());

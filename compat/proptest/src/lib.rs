@@ -11,6 +11,7 @@
 //! deterministic case count of [`CASES`] per property seeded from the test's
 //! module path — failures therefore reproduce exactly across runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;

@@ -12,6 +12,7 @@
 //! upstream, but every consumer in this workspace relies only on
 //! *determinism for a fixed seed*, which this implementation guarantees.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;

@@ -22,6 +22,7 @@
 //! site in this workspace guards with a work-size threshold so the ~tens of
 //! microseconds of spawn cost are amortized.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -18,6 +18,7 @@
 //! several designs, then predict local stage delays (left columns of
 //! Table II) and endpoint arrivals (right columns).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod guo;

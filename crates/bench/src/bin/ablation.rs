@@ -2,6 +2,8 @@
 //! max vs mean cell-edge aggregation, and endpoint-wise masking vs a shared
 //! layout map (the paper's Section V-B argument).
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use rtt_bench::Cli;
 use rtt_circgen::Scale;
 use rtt_core::{ModelConfig, TrainConfig};

@@ -7,6 +7,8 @@
 //! workload is bit-identical across thread counts, so this suite measures
 //! speed only.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use std::time::Instant;
 
 use rtt_circgen::{GenParams, Scale};

@@ -1,6 +1,8 @@
 //! Regenerates **Table I**: dataset statistics and the impact of timing
 //! optimization on sign-off metrics.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use rtt_bench::Cli;
 use rtt_flow::tables::{render_table1, table1, Table1Row};
 use rtt_flow::{Dataset, FlowConfig};

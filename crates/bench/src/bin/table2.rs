@@ -2,6 +2,8 @@
 //! (DAC19, DAC22-he, DAC22-guo) and our CNN-only / GNN-only / full models
 //! on the held-out test designs.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use rtt_bench::Cli;
 use rtt_circgen::Scale;
 use rtt_core::{ModelConfig, TrainConfig};

@@ -1,6 +1,8 @@
 //! Regenerates **Table III**: runtime of the optimize+route+STA flow vs our
 //! preprocessing + inference, with per-design speedups.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use rtt_bench::Cli;
 use rtt_circgen::Scale;
 use rtt_core::ModelConfig;

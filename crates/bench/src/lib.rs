@@ -4,6 +4,8 @@
 //! optional `--epochs N`, and `--out DIR` (default `results/`). See
 //! `EXPERIMENTS.md` for the mapping from paper artifact to binary.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;

@@ -22,6 +22,7 @@
 //! assert!(!graph.endpoints().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adder;

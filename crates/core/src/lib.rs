@@ -44,6 +44,7 @@
 //! assert_eq!(pred.len(), graph.endpoints().len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cnn;

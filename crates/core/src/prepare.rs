@@ -123,7 +123,7 @@ mod tests {
         let dense = prep.dense_mask_rows(&idx);
         assert_eq!(dense.shape(), &[n_ep, cfg.pooled_grid() * cfg.pooled_grid()]);
         for (r, bins) in prep.masks.iter().enumerate() {
-            let ones = dense.row(r).iter().filter(|&&v| v == 1.0).count();
+            let ones = dense.row(r).iter().filter(|&&v| v.to_bits() == 1.0f32.to_bits()).count();
             assert_eq!(ones, bins.len());
         }
         assert_eq!(prep.schedule.num_endpoints(), n_ep);

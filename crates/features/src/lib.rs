@@ -12,6 +12,7 @@
 //!
 //! Everything here is plain data extraction: no learning, no randomness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod maps;

@@ -137,6 +137,7 @@ mod tests {
         let ep = *g.endpoints().iter().max_by_key(|&&e| g.level(e)).unwrap();
         let path = longest_path(&g, ep);
         let mask = endpoint_mask(&nl, &pl, &g, &path, 16);
+        // rtt-lint: allow(D003, reason = "mask entries are written as exact 0.0/1.0 literals")
         assert!(mask.values().iter().all(|&v| v == 0.0 || v == 1.0));
         assert!(mask.total() > 0.0, "deep endpoint must have a critical region");
     }

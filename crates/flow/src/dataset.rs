@@ -64,15 +64,18 @@ pub fn run_design_flow(
     let mut opt_netlist = input_netlist.clone();
     let mut opt_placement = input_placement.clone();
     let opt_cfg = OptConfig { clock_period_ps, ..OptConfig::default() };
+    // rtt-lint: allow(D002, reason = "stage wall-clock is the measured quantity (Table III)")
     let t0 = Instant::now();
     let opt_report = optimize(&mut opt_netlist, &mut opt_placement, library, &opt_cfg);
     let opt_s = t0.elapsed().as_secs_f64();
 
+    // rtt-lint: allow(D002, reason = "stage wall-clock is the measured quantity (Table III)")
     let t1 = Instant::now();
     let rt_b = route(&opt_netlist, library, &opt_placement, &route_cfg);
     let route_s = t1.elapsed().as_secs_f64();
 
     let opt_graph = TimingGraph::build(&opt_netlist, library);
+    // rtt-lint: allow(D002, reason = "stage wall-clock is the measured quantity (Table III)")
     let t2 = Instant::now();
     let signoff =
         run_sta(&opt_netlist, library, &opt_graph, WireModel::Routed(&rt_b), clock_period_ps);

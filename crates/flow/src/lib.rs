@@ -17,6 +17,7 @@
 //! * [`ablation`](tables::ablation) — design-choice ablations (max vs mean
 //!   aggregation, masked vs unmasked layout).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dataset;

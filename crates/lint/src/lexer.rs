@@ -1,0 +1,562 @@
+//! Hand-rolled Rust lexer.
+//!
+//! The offline build environment cannot pull `syn`, so rule matching runs
+//! over a flat token stream produced here. The lexer understands everything
+//! that would otherwise corrupt naive text matching: line and (nested) block
+//! comments, string literals with escapes, raw strings with arbitrary `#`
+//! fences, byte strings, char literals vs lifetimes, raw identifiers, and
+//! numeric literals with suffixes. It does not need to be a full Rust lexer
+//! — only to never misclassify those constructs — and it must never panic,
+//! whatever bytes it is fed.
+
+/// Classification of one lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Integer literal, any radix, with optional suffix.
+    Int,
+    /// Float literal (`1.0`, `1e3`, `2f32`), with optional suffix.
+    Float,
+    /// String, raw-string, byte-string, or byte literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Punctuation; multi-char operators the rules care about stay fused
+    /// (`==`, `!=`, `::`, `->`, …).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Verbatim token text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment with its position; kept out of the token stream so rules match
+/// over code only, but available for suppressions and `// SAFETY:` checks.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the comment start.
+    pub line: u32,
+    /// `true` when a code token precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// Output of [`lex`]: tokens plus the comment side-channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Two-char operators kept fused so rules can match `==` / `!=` / `::`
+/// directly. Longer operators (`..=`, `<<=`) lex as two tokens, which no
+/// rule currently cares about.
+const TWO_CHAR_OPS: &[&str] = &[
+    "==", "!=", "<=", ">=", "->", "=>", "::", "..", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=", "&=",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Never panics; bytes that fit no
+/// rule become single-char [`TokenKind::Punct`] tokens.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor { chars: source.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+    let mut last_code_line = 0u32;
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line, trailing: last_code_line == line });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            let mut depth = 1u32;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                    text.push_str("/*");
+                    continue;
+                }
+                if ch == '*' && cur.peek(1) == Some('/') {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    text.push_str("*/");
+                    continue;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line, trailing: last_code_line == line });
+            continue;
+        }
+
+        let token = lex_token(&mut cur, c, line, col);
+        last_code_line = token.line;
+        out.tokens.push(token);
+    }
+    out
+}
+
+fn lex_token(cur: &mut Cursor, c: char, line: u32, col: u32) -> Token {
+    // Raw strings / raw identifiers / byte strings, before plain idents.
+    if (c == 'r' || c == 'b') && starts_special_literal(cur) {
+        return lex_special_literal(cur, line, col);
+    }
+    if is_ident_start(c) {
+        let mut text = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if is_ident_continue(ch) {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind: TokenKind::Ident, text, line, col };
+    }
+    if c == '"' {
+        return lex_string(cur, line, col);
+    }
+    if c == '\'' {
+        return lex_quote(cur, line, col);
+    }
+    if c.is_ascii_digit() {
+        return lex_number(cur, line, col);
+    }
+    // Punctuation: try fused two-char operators first.
+    if let Some(next) = cur.peek(1) {
+        let mut two = String::new();
+        two.push(c);
+        two.push(next);
+        if TWO_CHAR_OPS.contains(&two.as_str()) {
+            cur.bump();
+            cur.bump();
+            return Token { kind: TokenKind::Punct, text: two, line, col };
+        }
+    }
+    cur.bump();
+    Token { kind: TokenKind::Punct, text: c.to_string(), line, col }
+}
+
+/// `true` when the cursor sits on `r"`, `r#"`, `r#ident`, `b"`, `b'`,
+/// `br"`, or `br#"` — anything needing special literal handling.
+fn starts_special_literal(cur: &Cursor) -> bool {
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('r'), Some('"' | '#')) => true,
+        (Some('b'), Some('"' | '\'' | 'r')) => {
+            // `br` only counts when followed by a raw-string opener, so the
+            // identifier `broken` does not trip this path.
+            if cur.peek(1) == Some('r') {
+                matches!(cur.peek(2), Some('"' | '#'))
+            } else {
+                true
+            }
+        }
+        _ => false,
+    }
+}
+
+fn lex_special_literal(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    // Consume the `r` / `b` / `br` prefix.
+    while let Some(ch) = cur.peek(0) {
+        if ch == 'r' || ch == 'b' {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Raw identifier: `r#name` (not `r#"`).
+    if text == "r"
+        && cur.peek(0) == Some('#')
+        && cur.peek(1).is_some_and(|c| is_ident_start(c) && c != '"')
+    {
+        cur.bump(); // '#'
+        let mut ident = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if is_ident_continue(ch) {
+                ident.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind: TokenKind::Ident, text: ident, line, col };
+    }
+    // Byte char: `b'x'`.
+    if text == "b" && cur.peek(0) == Some('\'') {
+        let t = lex_quote(cur, line, col);
+        return Token { kind: TokenKind::Char, text: format!("b{}", t.text), line, col };
+    }
+    // Raw string fence: count `#`s, then `"` … `"` + same `#`s.
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+        if hashes == 0 && !text.contains('r') {
+            // Plain byte string `b"…"`: escapes apply.
+            lex_string_body(cur, &mut text);
+        } else if hashes == 0 {
+            // `r"…"`: ends at the first quote, no escapes.
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '"' {
+                    break;
+                }
+            }
+        } else {
+            // `r#"…"#`-style: ends at `"` followed by `hashes` `#`s.
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '"' && (0..hashes).all(|k| cur.peek(k) == Some('#')) {
+                    for _ in 0..hashes {
+                        if let Some(h) = cur.bump() {
+                            text.push(h);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        return Token { kind: TokenKind::Str, text, line, col };
+    }
+    // `r#` / `b` followed by nothing usable: emit what we have as an ident.
+    Token { kind: TokenKind::Ident, text, line, col }
+}
+
+fn lex_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    lex_string_body(cur, &mut text);
+    Token { kind: TokenKind::Str, text, line, col }
+}
+
+fn lex_string_body(cur: &mut Cursor, text: &mut String) {
+    while let Some(ch) = cur.bump() {
+        text.push(ch);
+        if ch == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if ch == '"' {
+            break;
+        }
+    }
+}
+
+/// Lexes a `'`-introduced token: lifetime, loop label, or char literal.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    // Lifetime / label: `'ident` not closed by a quote right after.
+    if cur.peek(0).is_some_and(is_ident_start) && cur.peek(1) != Some('\'') {
+        while let Some(ch) = cur.peek(0) {
+            if is_ident_continue(ch) {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind: TokenKind::Lifetime, text, line, col };
+    }
+    // Char literal: consume escape or single char, then the closing quote.
+    match cur.bump() {
+        Some('\\') => {
+            text.push('\\');
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' && cur.peek(0) == Some('{') {
+                    while let Some(ch) = cur.bump() {
+                        text.push(ch);
+                        if ch == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(ch) => text.push(ch),
+        None => return Token { kind: TokenKind::Char, text, line, col },
+    }
+    if cur.peek(0) == Some('\'') {
+        text.push('\'');
+        cur.bump();
+    }
+    Token { kind: TokenKind::Char, text, line, col }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut kind = TokenKind::Int;
+    // Radix prefixes never produce floats.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B')) {
+        for _ in 0..2 {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind, text, line, col };
+    }
+    while let Some(ch) = cur.peek(0) {
+        if ch.is_ascii_digit() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part: a `.` joins the number only when a digit follows, so
+    // ranges (`0..n`), field access (`x.0`), and method calls (`1.max(2)`)
+    // stay separate tokens.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        kind = TokenKind::Float;
+        text.push('.');
+        cur.bump();
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_digit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            kind = TokenKind::Float;
+            for _ in 0..=usize::from(sign) {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_digit() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, `usize`, …).
+    let mut suffix = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if is_ident_continue(ch) {
+            suffix.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        kind = TokenKind::Float;
+    }
+    text.push_str(&suffix);
+    Token { kind, text, line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = a == b;");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, "==".into()),
+                (TokenKind::Ident, "b".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let t = kinds("1 1.5 1e3 2f32 0x1F 0..n 7usize 1.max(2)");
+        assert_eq!(t[0].0, TokenKind::Int);
+        assert_eq!(t[1].0, TokenKind::Float);
+        assert_eq!(t[2].0, TokenKind::Float);
+        assert_eq!(t[3].0, TokenKind::Float);
+        assert_eq!(t[4].0, TokenKind::Int);
+        // `0..n`
+        assert_eq!(t[5], (TokenKind::Int, "0".into()));
+        assert_eq!(t[6], (TokenKind::Punct, "..".into()));
+        // `1.max(2)` keeps the int separate from the method call
+        assert_eq!(t[8], (TokenKind::Int, "7usize".into()));
+        assert_eq!(t[9], (TokenKind::Int, "1".into()));
+        assert_eq!(t[10], (TokenKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "a == 0.0 // not a comment";"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!t.iter().any(|(_, s)| s == "=="));
+        let l = lex(r#""x" // real comment"#);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex(r###"let s = r#"inner "quote" stays"# ; done"###);
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(l.tokens.len(), 2);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn trailing_flag_and_lines() {
+        let l = lex("let a = 1; // trailing\n// own line\nlet b = 2;");
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+        let b = l.tokens.iter().find(|t| t.is_ident("b"));
+        assert_eq!(b.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = kinds("let r#fn = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "fn"));
+    }
+
+    #[test]
+    fn pathological_inputs_do_not_panic() {
+        for src in ["r#", "b", "'", "'\\", "\"unterminated", "r###\"open", "/* open", "0x", "1e"] {
+            let _ = lex(src);
+        }
+    }
+}

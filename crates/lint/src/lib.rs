@@ -1,0 +1,145 @@
+//! `rtt-lint` — workspace-specific determinism and robustness lints.
+//!
+//! A from-scratch static-analysis pass over this workspace's Rust sources:
+//! a hand-rolled lexer (no `syn`; the build environment is offline) feeds
+//! token-stream matchers for seven rules:
+//!
+//! | id   | checks |
+//! |------|--------|
+//! | D001 | HashMap/HashSet iteration in determinism-critical crates |
+//! | D002 | ambient entropy (`thread_rng`, `SystemTime::now`, `Instant::now`) |
+//! | D003 | exact float `==` / `!=` comparison |
+//! | D004 | `par_iter()` reduced with `.sum()`/`.reduce()` (scheduling-order) |
+//! | R001 | `unwrap()`/`expect()` in library code |
+//! | R002 | `panic!`/`todo!`/`unimplemented!` in library code |
+//! | U001 | `unsafe` without a `// SAFETY:` comment |
+//!
+//! Findings are suppressed either inline
+//! (`// rtt-lint: allow(D001, reason = "...")`) or through the checked-in
+//! `lint-allow.toml` baseline; both channels require a reason.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+pub use diag::{Finding, Rule};
+pub use rules::{FileContext, FileKind};
+pub use suppress::Baseline;
+
+use std::path::Path;
+
+/// Output of one lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Non-fatal problems: malformed suppressions, unreadable files.
+    pub warnings: Vec<String>,
+    /// Number of findings silenced by inline suppressions.
+    pub suppressed_inline: usize,
+    /// Number of findings silenced by the baseline.
+    pub suppressed_baseline: usize,
+    /// Number of files checked.
+    pub files_checked: usize,
+}
+
+/// Lints a single source string under an explicit context. This is the
+/// entry point used by fixture tests; `lint_workspace` funnels through it.
+/// The baseline is **not** consulted here — only inline suppressions.
+pub fn lint_source(source: &str, ctx: &FileContext) -> LintReport {
+    let lexed = lexer::lex(source);
+    let raw = rules::check_file(&lexed, ctx, source);
+    let (allows, warnings) = suppress::parse_inline(&lexed.comments, &ctx.path);
+    let mut report = LintReport { warnings, files_checked: 1, ..LintReport::default() };
+    for f in raw {
+        if allows.iter().any(|a| a.covers(f.rule, f.line)) {
+            report.suppressed_inline += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    sort_findings(&mut report.findings);
+    report
+}
+
+/// Lints every workspace source file under `root`, applying inline
+/// suppressions and the `lint-allow.toml` baseline (when present).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let baseline = match std::fs::read_to_string(root.join("lint-allow.toml")) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("lint-allow.toml: {e}")),
+    };
+    let files = walk::workspace_rs_files(root)?;
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => path.to_string_lossy().replace('\\', "/"),
+        };
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                report.warnings.push(format!("{rel}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let ctx = walk::classify(&rel);
+        let file_report = lint_source(&source, &ctx);
+        report.files_checked += 1;
+        report.suppressed_inline += file_report.suppressed_inline;
+        report.warnings.extend(file_report.warnings);
+        for f in file_report.findings {
+            if baseline.covers(f.rule, &f.file) {
+                report.suppressed_baseline += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    sort_findings(&mut report.findings);
+    Ok(report)
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(crate_name: &str) -> FileContext {
+        FileContext {
+            path: format!("crates/{crate_name}/src/lib.rs"),
+            crate_name: crate_name.to_owned(),
+            determinism_critical: walk::DETERMINISM_CRITICAL.contains(&crate_name),
+            kind: FileKind::Lib,
+        }
+    }
+
+    #[test]
+    fn inline_suppression_silences_and_counts() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> u32 {\n\
+                   // rtt-lint: allow(D001, reason = \"sum is order-independent over ints\")\n\
+                   m.values().sum()\n}\n";
+        let report = lint_source(src, &lib_ctx("sta"));
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed_inline, 1);
+    }
+
+    #[test]
+    fn findings_sorted_by_position() {
+        let src =
+            "fn f() {\n    let x = 1.0f32;\n    let b = x == 0.0;\n    let c = x != 1.0;\n}\n";
+        let report = lint_source(src, &lib_ctx("sta"));
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].line < report.findings[1].line);
+    }
+}

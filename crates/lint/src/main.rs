@@ -1,0 +1,100 @@
+//! CLI for `rtt-lint`.
+//!
+//! ```text
+//! cargo run -p rtt-lint --release [-- --root <dir>] [--format text|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 operational error.
+
+#![allow(clippy::print_stdout)]
+
+use rtt_lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format must be `text` or `json`"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "rtt-lint: workspace determinism & robustness lints\n\n\
+                     USAGE: rtt-lint [--root <dir>] [--format text|json]\n\n\
+                     Exit codes: 0 clean, 1 findings, 2 error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // When invoked via `cargo run` the cwd is the workspace root already;
+    // fall back to the manifest's grandparent so the binary also works when
+    // launched from inside a crate directory.
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("rtt-lint: no Cargo.toml under `{}`", root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rtt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+
+    match format {
+        Format::Json => {
+            println!("[");
+            for (i, f) in report.findings.iter().enumerate() {
+                let comma = if i + 1 < report.findings.len() { "," } else { "" };
+                println!("  {}{comma}", f.render_json());
+            }
+            println!("]");
+        }
+        Format::Text => {
+            for f in &report.findings {
+                println!("{}", f.render_text());
+            }
+            println!(
+                "rtt-lint: {} file(s) checked, {} finding(s), {} suppressed inline, {} baselined",
+                report.files_checked,
+                report.findings.len(),
+                report.suppressed_inline,
+                report.suppressed_baseline,
+            );
+        }
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rtt-lint: {msg}\nUSAGE: rtt-lint [--root <dir>] [--format text|json]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,293 @@
+//! Inline suppressions and the checked-in `lint-allow.toml` baseline.
+//!
+//! Two suppression channels exist so that *new* debt stays visible while
+//! *pre-existing* debt is enumerated rather than hidden:
+//!
+//! * **Inline**: `// rtt-lint: allow(D001, reason = "keys sorted above")`
+//!   on the finding's line or the line directly above it. A reason is
+//!   mandatory; reasonless suppressions are ignored and reported.
+//! * **Baseline**: `[[allow]]` entries in `lint-allow.toml` at the
+//!   workspace root, keyed by rule id and file path, each with a reason.
+
+use crate::diag::Rule;
+use crate::lexer::Comment;
+
+/// One parsed inline suppression.
+#[derive(Clone, Debug)]
+pub struct InlineAllow {
+    /// Rules this suppression covers.
+    pub rules: Vec<Rule>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line the suppression comment starts on.
+    pub line: u32,
+    /// `true` when the comment trails code (applies to its own line only).
+    pub trailing: bool,
+}
+
+impl InlineAllow {
+    /// `true` if this suppression covers `rule` at `line`.
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        if !self.rules.contains(&rule) {
+            return false;
+        }
+        if self.trailing {
+            line == self.line
+        } else {
+            line == self.line || line == self.line + 1
+        }
+    }
+}
+
+/// Extracts inline suppressions from a file's comments. Malformed
+/// suppressions (unknown rule, missing reason) are returned as warnings so
+/// they fail loudly instead of silently not applying.
+pub fn parse_inline(comments: &[Comment], file: &str) -> (Vec<InlineAllow>, Vec<String>) {
+    let mut allows = Vec::new();
+    let mut warnings = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("rtt-lint:") else { continue };
+        match parse_allow_clause(rest.trim()) {
+            Ok((rules, reason)) => {
+                allows.push(InlineAllow { rules, reason, line: c.line, trailing: c.trailing })
+            }
+            Err(why) => warnings.push(format!("{file}:{}: ignored suppression: {why}", c.line)),
+        }
+    }
+    (allows, warnings)
+}
+
+/// Parses `allow(D001, D003, reason = "...")`.
+fn parse_allow_clause(s: &str) -> Result<(Vec<Rule>, String), String> {
+    let Some(body) = s.strip_prefix("allow").map(str::trim_start) else {
+        return Err("expected `allow(...)`".to_owned());
+    };
+    let Some(body) = body.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_owned());
+    };
+    let Some(body) = body.trim_end().strip_suffix(')') else {
+        return Err("missing closing `)`".to_owned());
+    };
+    let mut rules = Vec::new();
+    let mut reason = None;
+    for part in split_top_level(body) {
+        let part = part.trim();
+        if let Some(val) = part.strip_prefix("reason") {
+            let val = val.trim_start();
+            let Some(val) = val.strip_prefix('=') else {
+                return Err("expected `reason = \"...\"`".to_owned());
+            };
+            let val = val.trim();
+            let unquoted = val.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+            match unquoted {
+                Some(r) if !r.trim().is_empty() => reason = Some(r.trim().to_owned()),
+                _ => return Err("reason must be a non-empty quoted string".to_owned()),
+            }
+        } else if let Some(rule) = Rule::parse(part) {
+            rules.push(rule);
+        } else if !part.is_empty() {
+            return Err(format!("unknown rule id `{part}`"));
+        }
+    }
+    if rules.is_empty() {
+        return Err("no rule ids listed".to_owned());
+    }
+    match reason {
+        Some(r) => Ok((rules, r)),
+        None => Err("missing mandatory `reason = \"...\"`".to_owned()),
+    }
+}
+
+/// Splits on commas that are not inside a quoted string, so reasons may
+/// contain commas.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            cur.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_str = !in_str;
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+/// One baseline entry: every finding of `rule` in `path` is tolerated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id this entry tolerates.
+    pub rule: Rule,
+    /// Repo-relative file path, forward slashes.
+    pub path: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The parsed `lint-allow.toml` baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// All entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// `true` if the baseline tolerates `rule` in `file`.
+    pub fn covers(&self, rule: Rule, file: &str) -> bool {
+        self.entries.iter().any(|e| e.rule == rule && e.path == file)
+    }
+
+    /// Parses the TOML subset used by `lint-allow.toml`: `[[allow]]`
+    /// headers followed by `key = "value"` string pairs. Anything else is
+    /// an error — the baseline is security-relevant configuration and must
+    /// not half-parse.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut cur: Option<(Option<Rule>, Option<String>, Option<String>)> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = cur.take() {
+                    entries.push(finish_entry(done, lineno)?);
+                }
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("lint-allow.toml:{lineno}: expected `key = \"value\"`"));
+            };
+            let Some(slot) = cur.as_mut() else {
+                return Err(format!("lint-allow.toml:{lineno}: key outside an [[allow]] entry"));
+            };
+            let val = val.trim();
+            let Some(val) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(format!("lint-allow.toml:{lineno}: value must be a quoted string"));
+            };
+            match key.trim() {
+                "rule" => match Rule::parse(val) {
+                    Some(r) => slot.0 = Some(r),
+                    None => {
+                        return Err(format!("lint-allow.toml:{lineno}: unknown rule id `{val}`"))
+                    }
+                },
+                "path" => slot.1 = Some(val.to_owned()),
+                "reason" => slot.2 = Some(val.to_owned()),
+                other => {
+                    return Err(format!("lint-allow.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(done) = cur.take() {
+            entries.push(finish_entry(done, text.lines().count())?);
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+fn finish_entry(
+    (rule, path, reason): (Option<Rule>, Option<String>, Option<String>),
+    lineno: usize,
+) -> Result<BaselineEntry, String> {
+    let (Some(rule), Some(path), Some(reason)) = (rule, path, reason) else {
+        return Err(format!(
+            "lint-allow.toml: entry ending near line {lineno} needs `rule`, `path`, and `reason`"
+        ));
+    };
+    if reason.trim().is_empty() {
+        return Err(format!("lint-allow.toml: entry near line {lineno} has an empty reason"));
+    }
+    Ok(BaselineEntry { rule, path, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn inline_suppression_parses_and_covers() {
+        let src = "// rtt-lint: allow(D001, reason = \"keys sorted above\")\nfor k in m.keys() {}";
+        let l = lex(src);
+        let (allows, warns) = parse_inline(&l.comments, "x.rs");
+        assert!(warns.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].covers(Rule::D001, 2));
+        assert!(!allows[0].covers(Rule::D001, 3));
+        assert!(!allows[0].covers(Rule::D003, 2));
+    }
+
+    #[test]
+    fn trailing_suppression_covers_own_line_only() {
+        let src = "let x = m.keys(); // rtt-lint: allow(D001, reason = \"sorted, see above\")";
+        let l = lex(src);
+        let (allows, _) = parse_inline(&l.comments, "x.rs");
+        assert!(allows[0].covers(Rule::D001, 1));
+        assert!(!allows[0].covers(Rule::D001, 2));
+    }
+
+    #[test]
+    fn reasonless_or_unknown_suppressions_warn() {
+        for bad in [
+            "// rtt-lint: allow(D001)",
+            "// rtt-lint: allow(D001, reason = \"\")",
+            "// rtt-lint: allow(Z123, reason = \"x\")",
+            "// rtt-lint: allow(reason = \"x\")",
+        ] {
+            let l = lex(bad);
+            let (allows, warns) = parse_inline(&l.comments, "x.rs");
+            assert!(allows.is_empty(), "{bad}");
+            assert_eq!(warns.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn multi_rule_suppression_with_comma_in_reason() {
+        let src = "// rtt-lint: allow(D001, D003, reason = \"a, b, and c\")\nx";
+        let (allows, warns) = parse_inline(&lex(src).comments, "x.rs");
+        assert!(warns.is_empty());
+        assert_eq!(allows[0].rules, vec![Rule::D001, Rule::D003]);
+        assert_eq!(allows[0].reason, "a, b, and c");
+    }
+
+    #[test]
+    fn baseline_parses_and_covers() {
+        let text = "# debt ledger\n[[allow]]\nrule = \"R001\"\npath = \"crates/a/src/lib.rs\"\n\
+                    reason = \"documented panic\"\n\n[[allow]]\nrule = \"D003\"\n\
+                    path = \"crates/b/src/x.rs\"\nreason = \"exact sentinel\"\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.entries.len(), 2);
+        assert!(b.covers(Rule::R001, "crates/a/src/lib.rs"));
+        assert!(!b.covers(Rule::R001, "crates/b/src/x.rs"));
+        assert!(b.covers(Rule::D003, "crates/b/src/x.rs"));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_entries() {
+        assert!(Baseline::parse("[[allow]]\nrule = \"R001\"\n").is_err());
+        assert!(Baseline::parse("rule = \"R001\"\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = \"WAT\"\npath = \"x\"\nreason = \"r\"").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = R001\npath = \"x\"\nreason = \"r\"").is_err());
+        assert!(Baseline::parse("").map(|b| b.entries.is_empty()).unwrap_or(false));
+    }
+}

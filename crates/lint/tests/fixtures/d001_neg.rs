@@ -1,0 +1,21 @@
+// D001 negative: ordered maps may be iterated; hash maps may be probed.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sum_values(scores: &BTreeMap<u32, f32>) -> f32 {
+    let mut total = 0.0;
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn lookup_only(index: &HashMap<u32, f32>, keys: &[u32]) -> f32 {
+    // Probing a HashMap is fine — only *iteration* leaks hash order.
+    keys.iter().filter_map(|k| index.get(k)).sum()
+}
+
+pub fn sorted_traversal(index: &HashMap<u32, f32>, keys: &[u32]) -> Vec<f32> {
+    let mut sorted: Vec<u32> = keys.to_vec();
+    sorted.sort_unstable();
+    sorted.iter().filter_map(|k| index.get(k).copied()).collect()
+}

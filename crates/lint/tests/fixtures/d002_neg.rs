@@ -1,0 +1,11 @@
+// D002 negative: seeded rng, timestamps passed in from the boundary.
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn report(elapsed_secs: f64) -> String {
+    format!("took {elapsed_secs:.3}s")
+}

@@ -1,0 +1,17 @@
+// D002 positive: ambient entropy in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn elapsed_hack() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,17 @@
+// D003 negative: epsilon comparisons and bit-pattern checks.
+pub fn is_zero(x: f32) -> bool {
+    // Sign-insensitive bit test: matches +0.0 and -0.0 exactly.
+    x.to_bits() << 1 == 0
+}
+
+pub fn near_one(x: f32) -> bool {
+    (x - 1.0).abs() < 1e-6
+}
+
+pub fn is_exactly_one(x: f32) -> bool {
+    x.to_bits() == 1.0f32.to_bits()
+}
+
+pub fn ordering_is_fine(x: f32) -> bool {
+    x > 0.0 && x < 1.0
+}

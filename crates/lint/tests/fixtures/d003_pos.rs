@@ -1,0 +1,16 @@
+// D003 positive: exact float comparisons.
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn not_one(x: f64) -> bool {
+    x != 1.0
+}
+
+pub fn unreached(best: f32) -> bool {
+    best == f32::NEG_INFINITY
+}
+
+pub fn saturated(x: f32) -> bool {
+    f32::INFINITY == x
+}

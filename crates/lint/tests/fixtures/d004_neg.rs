@@ -1,0 +1,17 @@
+// D004 negative: collect then fixed-order reduce; serial sums inside
+// closures are also fine.
+use rayon::prelude::*;
+
+pub fn total(xs: &[Vec<f32>]) -> f32 {
+    let partials: Vec<f32> = xs.par_iter().map(|row| row.iter().sum::<f32>()).collect();
+    // Fixed-shape pairwise tree over the collected (ordered) partials.
+    tree_sum(&partials)
+}
+
+fn tree_sum(xs: &[f32]) -> f32 {
+    match xs.len() {
+        0 => 0.0,
+        1 => xs[0],
+        n => tree_sum(&xs[..n / 2]) + tree_sum(&xs[n / 2..]),
+    }
+}

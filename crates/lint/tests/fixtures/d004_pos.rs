@@ -1,0 +1,10 @@
+// D004 positive: scheduling-order reductions over parallel iterators.
+use rayon::prelude::*;
+
+pub fn total(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn maximum(xs: &[f32]) -> Option<f32> {
+    xs.par_iter().copied().reduce(|| 0.0, f32::max).into()
+}

@@ -1,0 +1,23 @@
+// R001 negative: fallible returns in lib code; unwrap confined to tests.
+pub fn first_line(text: &str) -> Option<&str> {
+    text.lines().next()
+}
+
+pub fn parse_port(s: &str) -> Result<u16, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn with_default(s: &str) -> u16 {
+    s.parse().unwrap_or(8080)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first_line("a\nb").unwrap(), "a");
+        assert_eq!(parse_port("80").expect("parses"), 80);
+    }
+}

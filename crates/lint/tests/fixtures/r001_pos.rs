@@ -1,0 +1,8 @@
+// R001 positive: panicking Option/Result access in library code.
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("valid port")
+}

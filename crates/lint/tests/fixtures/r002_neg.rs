@@ -1,0 +1,19 @@
+// R002 negative: errors instead of panics; panics confined to tests.
+pub fn checked_div(a: u32, b: u32) -> Result<u32, String> {
+    if b == 0 {
+        return Err("division by zero".to_owned());
+    }
+    Ok(a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        if checked_div(1, 1).is_err() {
+            panic!("1/1 must divide");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// R002 positive: panic-family macros in library code.
+pub fn checked_div(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        panic!("division by zero");
+    }
+    a / b
+}
+
+pub fn future_feature() {
+    todo!("not built yet")
+}
+
+pub fn other_arm(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unimplemented!(),
+    }
+}

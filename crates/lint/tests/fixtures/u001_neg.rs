@@ -1,0 +1,12 @@
+// U001 negative: every unsafe carries a SAFETY justification.
+pub fn reinterpret(x: u32) -> f32 {
+    // SAFETY: u32 and f32 have identical size and alignment; any bit
+    // pattern is a valid f32 (possibly NaN).
+    unsafe { std::mem::transmute(x) }
+}
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees v is non-empty (checked by the assert).
+    assert!(!v.is_empty());
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,4 @@
+// U001 positive: unsafe without a SAFETY comment.
+pub fn reinterpret(x: u32) -> f32 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the lexer must never panic, whatever bytes arrive, and
+//! suppression comments embedded in generated soup must still parse.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtt_lint::lexer::lex;
+use rtt_lint::suppress::parse_inline;
+use rtt_lint::Rule;
+
+/// Fragments that stress the tricky lexer states: raw strings, nested
+/// comments, lifetimes vs chars, numeric suffixes, unterminated openers.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "r#",
+    "r#\"x\"#",
+    "r###\"y\"###",
+    "b'",
+    "b\"z\"",
+    "'a'",
+    "'static",
+    "'\\''",
+    "\"str\"",
+    "\"\\\"esc\\\"\"",
+    "/*",
+    "*/",
+    "/* /* nested */ */",
+    "//",
+    "// line\n",
+    "0x1f",
+    "0b10",
+    "0o7",
+    "1e9",
+    "1.5e-3",
+    "2.0f32",
+    "3f64",
+    "0..n",
+    "x.0",
+    "1.max(2)",
+    "==",
+    "!=",
+    "::",
+    "->",
+    "=>",
+    "<<",
+    ">>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "ident",
+    "HashMap",
+    "unsafe",
+    "unwrap",
+    "\\",
+    "\u{e9}",
+    "\n",
+    " ",
+    "\t",
+    "0x",
+    "1e",
+];
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_token_soup(picks in vec(0usize..48, 0..60)) {
+        let source: String = picks.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect();
+        let lexed = lex(&source);
+        // Tokens must carry sane positions (1-based, within the text).
+        let max_line = source.lines().count() as u32 + 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= max_line.max(1));
+            prop_assert!(t.col >= 1);
+        }
+    }
+
+    #[test]
+    fn suppressions_survive_surrounding_soup(picks in vec(0usize..16, 0..20)) {
+        // Only self-contained fragments here: an unterminated string or
+        // block comment would legitimately swallow the suppression line.
+        const CLOSED: &[&str] = &[
+            "fn", "ident", "==", "{", "}", ";", "\n", " ", "0x1f", "1.5e-3",
+            "'a'", "'static ", "\"str\"", "// line\n", "/* ok */", "1.max(2)",
+        ];
+        let soup: String = picks.iter().map(|&i| CLOSED[i % CLOSED.len()]).collect();
+        let source =
+            format!("{soup}\n// rtt-lint: allow(D001, reason = \"prop test\")\n{soup}\n");
+        let lexed = lex(&source);
+        let (allows, warnings) = parse_inline(&lexed.comments, "soup.rs");
+        prop_assert!(warnings.is_empty(), "unexpected warnings: {warnings:?}");
+        prop_assert!(
+            allows.iter().any(|a| a.rules == vec![Rule::D001] && a.reason == "prop test"),
+            "suppression lost in: {source:?}"
+        );
+    }
+}

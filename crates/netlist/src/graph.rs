@@ -97,9 +97,11 @@ impl TimingGraph {
         // Edges.
         let mut edges = Vec::new();
         for (nid, net) in netlist.nets() {
-            let from = node_of_pin[net.driver.index()].expect("live driver");
+            let from = node_of_pin[net.driver.index()]
+                .ok_or(NetlistError::Dead("pin", net.driver.index() as u32))?;
             for &s in &net.sinks {
-                let to = node_of_pin[s.index()].expect("live sink");
+                let to =
+                    node_of_pin[s.index()].ok_or(NetlistError::Dead("pin", s.index() as u32))?;
                 edges.push(TimingEdge {
                     from,
                     to,
@@ -113,9 +115,11 @@ impl TimingGraph {
             if library.cell_type(cell.type_id).is_sequential() {
                 continue; // sequential cut: no D -> Q arc
             }
-            let to = node_of_pin[cell.output.index()].expect("live output");
+            let to = node_of_pin[cell.output.index()]
+                .ok_or(NetlistError::Dead("pin", cell.output.index() as u32))?;
             for &i in &cell.inputs {
-                let from = node_of_pin[i.index()].expect("live input");
+                let from =
+                    node_of_pin[i.index()].ok_or(NetlistError::Dead("pin", i.index() as u32))?;
                 edges.push(TimingEdge {
                     from,
                     to,
@@ -424,7 +428,7 @@ mod tests {
         let g = TimingGraph::build(&nl, &lib);
         let order: Vec<u32> = g.topo_order().collect();
         assert_eq!(order.len(), g.num_nodes());
-        let pos: std::collections::HashMap<u32, usize> =
+        let pos: std::collections::BTreeMap<u32, usize> =
             order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         for e in g.edges() {
             assert!(pos[&e.from] < pos[&e.to]);

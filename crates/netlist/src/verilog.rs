@@ -11,7 +11,7 @@
 //! (`AND2_X1 u0 (.i0(a), .i1(b), .o(w1));`). No buses, behavioural code,
 //! parameters, or escaped identifiers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -207,7 +207,9 @@ pub fn parse_verilog(text: &str, library: &CellLibrary) -> Result<Netlist, Veril
         driver: Option<PinId>,
         sinks: Vec<PinId>,
     }
-    let mut nets: HashMap<String, NetAcc> = HashMap::new();
+    // BTreeMap: nets materialize in name order, so NetIds are stable across
+    // runs regardless of declaration interleaving.
+    let mut nets: BTreeMap<String, NetAcc> = BTreeMap::new();
     // `assign lhs = rhs;` — lhs (an output port) becomes a sink of rhs.
     let mut aliases: Vec<(String, String)> = Vec::new();
     let mut cell_count = 0usize;

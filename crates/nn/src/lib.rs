@@ -48,6 +48,7 @@
 //! assert!((tape.value(out).data()[0] - 10.0).abs() < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod layers;

@@ -1,11 +1,11 @@
 //! Long-lived trainable parameters and gradient collection.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::Tensor;
 
 /// Handle to a parameter in a [`ParamStore`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ParamId(pub(crate) usize);
 
 /// Owns all trainable tensors of a model.
@@ -101,16 +101,16 @@ impl ParamStore {
             cur += n;
             Ok(s)
         };
-        let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let count = le_u32(take(4)?)? as usize;
         if count != self.tensors.len() {
             return Err(format!("blob has {count} tensors, store has {}", self.tensors.len()));
         }
         let mut restored = Vec::with_capacity(count);
         for i in 0..count {
-            let rank = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+            let rank = le_u32(take(4)?)? as usize;
             let mut shape = Vec::with_capacity(rank);
             for _ in 0..rank {
-                shape.push(u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize);
+                shape.push(le_u32(take(4)?)? as usize);
             }
             if shape != self.tensors[i].shape() {
                 return Err(format!(
@@ -120,10 +120,9 @@ impl ParamStore {
             }
             let volume: usize = shape.iter().product();
             let raw = take(volume * 4)?;
-            let data = raw
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-                .collect();
+            // chunks_exact(4) guarantees 4-byte chunks, so indexing is safe.
+            let data =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
             restored.push(Tensor::from_vec(&shape, data));
         }
         self.tensors = restored;
@@ -131,10 +130,18 @@ impl ParamStore {
     }
 }
 
+/// Decodes a little-endian u32 from a slice that must be exactly 4 bytes.
+fn le_u32(s: &[u8]) -> Result<u32, String> {
+    let arr: [u8; 4] = s.try_into().map_err(|_| "internal: expected a 4-byte slice".to_owned())?;
+    Ok(u32::from_le_bytes(arr))
+}
+
 /// Gradients produced by [`crate::Tape::backward`].
 #[derive(Debug, Default)]
 pub struct Grads {
-    by_param: HashMap<ParamId, Tensor>,
+    // BTreeMap, not HashMap: `norm()` and `merge_sum()` iterate this map,
+    // and float accumulation order must not depend on hasher state.
+    by_param: BTreeMap<ParamId, Tensor>,
     by_var: Vec<Option<Tensor>>,
 }
 
@@ -206,7 +213,8 @@ impl Grads {
             }
             items = next;
         }
-        items.pop().expect("non-empty")
+        // The loop above leaves exactly one element; default is unreachable.
+        items.pop().unwrap_or_default()
     }
 }
 

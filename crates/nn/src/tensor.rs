@@ -239,7 +239,9 @@ impl Tensor {
             let a_row = &self.data[i * k..(i + 1) * k];
             let o_row = &mut out.data[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                // Bit test for ±0.0 (shift drops the sign bit) — exactly the
+                // values whose products contribute nothing.
+                if a.to_bits() << 1 == 0 {
                     continue;
                 }
                 let b_row = &other.data[p * n..(p + 1) * n];

@@ -40,6 +40,7 @@
 //! assert!(report.wns_after >= report.wns_before);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

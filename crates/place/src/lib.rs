@@ -23,6 +23,7 @@
 //! assert!(placement.floorplan().die.contains(p));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod floorplan;

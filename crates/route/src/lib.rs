@@ -23,6 +23,7 @@
 //! assert!(routing.total_wirelength() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod rc;

@@ -31,6 +31,7 @@
 //! assert!(!report.endpoint_arrivals().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod propagate;

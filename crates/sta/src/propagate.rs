@@ -1,6 +1,6 @@
 //! Arrival-time propagation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rtt_netlist::{CellLibrary, EdgeKind, Netlist, PinDir, PinId, TimingEdge, TimingGraph};
 use rtt_place::Placement;
@@ -29,14 +29,17 @@ where
 {
     let mut arrival = vec![0.0f32; graph.num_nodes()];
     for v in graph.topo_order() {
-        let mut best = f32::NEG_INFINITY;
+        // `None` means "no fanin yet" — distinct from any arrival value, so
+        // sources need no sentinel and no float-equality test.
+        let mut best: Option<f32> = None;
         for e in graph.fanin(v) {
             let a = arrival[e.from as usize] + edge_delay(e);
-            if a > best {
-                best = a;
-            }
+            best = Some(match best {
+                Some(b) if b >= a => b,
+                _ => a,
+            });
         }
-        arrival[v as usize] = if best == f32::NEG_INFINITY { source_time(v) } else { best };
+        arrival[v as usize] = best.unwrap_or_else(|| source_time(v));
     }
     arrival
 }
@@ -50,14 +53,15 @@ where
 {
     let mut arrival = vec![0.0f32; graph.num_nodes()];
     for v in graph.topo_order() {
-        let mut best = f32::INFINITY;
+        let mut best: Option<f32> = None;
         for e in graph.fanin(v) {
             let a = arrival[e.from as usize] + edge_delay(e);
-            if a < best {
-                best = a;
-            }
+            best = Some(match best {
+                Some(b) if b <= a => b,
+                _ => a,
+            });
         }
-        arrival[v as usize] = if best == f32::INFINITY { source_time(v) } else { best };
+        arrival[v as usize] = best.unwrap_or_else(|| source_time(v));
     }
     arrival
 }
@@ -151,9 +155,10 @@ pub fn run_sta(
         source_time,
     );
 
-    // Split the cache by edge kind.
-    let mut net_edge_delay = HashMap::new();
-    let mut cell_edge_delay = HashMap::new();
+    // Split the cache by edge kind. BTreeMap: the report iterates these,
+    // and downstream feature extraction must see a stable order.
+    let mut net_edge_delay = BTreeMap::new();
+    let mut cell_edge_delay = BTreeMap::new();
     for e in graph.edges() {
         let key = (graph.pin_of(e.from), graph.pin_of(e.to));
         let d = edge_delay_cache[&key];

@@ -1,6 +1,6 @@
 //! STA result container.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rtt_netlist::PinId;
 
@@ -22,8 +22,11 @@ pub struct StaReport {
     pub(crate) arrival_min: Vec<f32>,
     pub(crate) required: Vec<f32>,
     pub(crate) endpoints: Vec<(PinId, f32)>,
-    pub(crate) net_edge_delay: HashMap<(PinId, PinId), f32>,
-    pub(crate) cell_edge_delay: HashMap<(PinId, PinId), f32>,
+    // BTreeMap, not HashMap: `net_edge_delays()` / `cell_edge_delays()`
+    // iterate these, and consumers (feature extraction, report diffing)
+    // must see the same order on every run.
+    pub(crate) net_edge_delay: BTreeMap<(PinId, PinId), f32>,
+    pub(crate) cell_edge_delay: BTreeMap<(PinId, PinId), f32>,
 }
 
 impl StaReport {

@@ -5,6 +5,8 @@
 //! cargo run --release --example layout_maps
 //! ```
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use restructure_timing::prelude::*;
 
 fn ascii(grid: &restructure_timing::place::Grid, title: &str) {

@@ -8,6 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use restructure_timing::prelude::*;
 
 fn main() {

@@ -9,6 +9,8 @@
 //! cargo run --release --example restructure_demo
 //! ```
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use restructure_timing::prelude::*;
 
 fn dump(netlist: &Netlist, lib: &CellLibrary, title: &str) {

@@ -11,6 +11,8 @@
 //! cargo run --release --example timing_driven_eval
 //! ```
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use std::time::Instant;
 
 use restructure_timing::flow::FlowConfig;

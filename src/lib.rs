@@ -33,6 +33,7 @@
 //! assert!(!sta.endpoint_arrivals().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use rtt_baselines as baselines;

@@ -13,6 +13,8 @@
 //! out; `flow` runs the paper's two-flow comparison and prints a Table-I
 //! style summary for one design.
 
+#![allow(clippy::print_stdout)] // reports/tables go to stdout by design
+
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
