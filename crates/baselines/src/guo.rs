@@ -151,6 +151,7 @@ impl GuoModel {
     /// Trains with the multi-task loss: endpoint arrival + auxiliary local
     /// labels on survivors.
     pub fn train(&mut self, designs: &[&BaselineInputs<'_>], epochs: usize, lr: f32) {
+        rtt_obs::span!("baselines::guo_train");
         let prepared: Vec<Prepared> = designs.iter().map(|d| prepare(d)).collect();
         // Arrivals are regressed linearly (log space makes upward
         // extrapolation exponential); delays, which span several orders of

@@ -141,6 +141,7 @@ impl TwoStageModel {
     /// Trains on the surviving stage labels of the given designs
     /// (semi-supervised: replaced stages have no labels).
     pub fn train(&mut self, designs: &[&BaselineInputs<'_>], epochs: usize, lr: f32) {
+        rtt_obs::span!("baselines::two_stage_train");
         // Assemble the supervised subset.
         let mut rows: Vec<f32> = Vec::new();
         let mut labels: Vec<f32> = Vec::new();

@@ -30,4 +30,5 @@ fn main() {
         format!("# Design-choice ablations (scale: {}, {epochs} epochs)\n\n", cli.scale);
     report.push_str(&render_ablation(&rows));
     cli.write_report("ablation", &report);
+    cli.finish_trace();
 }

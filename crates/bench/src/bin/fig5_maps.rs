@@ -35,4 +35,5 @@ fn main() {
         ));
     }
     cli.write_report("fig5", &report);
+    cli.finish_trace();
 }

@@ -48,4 +48,5 @@ fn main() {
     }
     report.push_str("```\n");
     cli.write_report("fig6", &report);
+    cli.finish_trace();
 }

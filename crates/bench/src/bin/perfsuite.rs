@@ -3,9 +3,14 @@
 //! Times the four workloads the parallel execution layer targets — dataset
 //! generation, GNN forward, CNN forward, and one training epoch — once with
 //! one thread and once with all available cores, then writes the results to
-//! `BENCH_PR1.json` in the current directory (and prints them). Every
+//! `BENCH_PR4.json` in the current directory (and prints them). Every
 //! workload is bit-identical across thread counts, so this suite measures
 //! speed only.
+//!
+//! The report also contains a `stages` section: the rtt-obs span breakdown
+//! (wall time, call counts, counters) of one instrumented end-to-end pass —
+//! circuit generation through placement, routing, STA, feature extraction,
+//! and a training epoch (forward, backward, optimizer step).
 
 #![allow(clippy::print_stdout)] // reports/tables go to stdout by design
 
@@ -118,6 +123,19 @@ fn main() {
         model.train(&designs, &tc)
     }));
 
+    // Per-stage breakdown: reset the span registry so it reflects exactly
+    // one instrumented end-to-end pass (generation → place → route → STA →
+    // features → one training epoch), then dump the tree.
+    rtt_obs::reset();
+    parallel::set_num_threads(cores);
+    let stage_design = prepare_design(2000, 300, &cfg, &lib);
+    let mut stage_model = TimingModel::new(cfg.clone());
+    stage_model.train(&[stage_design], &tc);
+    parallel::set_num_threads(1);
+    let snap = rtt_obs::snapshot();
+    println!("\nper-stage breakdown (one end-to-end pass):");
+    print!("{}", snap.render_tree());
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"cores\": {cores},\n"));
     json.push_str("  \"benchmarks\": [\n");
@@ -131,7 +149,18 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_PR1.json", json).expect("write BENCH_PR1.json");
-    eprintln!("[written to BENCH_PR1.json]");
+    json.push_str("  ],\n");
+    json.push_str("  \"stages\": {\n");
+    let n_spans = snap.spans.len();
+    for (i, (path, s)) in snap.spans.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{path}\": {{\"count\": {}, \"total_ms\": {:.6}}}{}\n",
+            s.count,
+            s.total_ns as f64 / 1e6,
+            if i + 1 < n_spans { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_PR4.json", json).expect("write BENCH_PR4.json");
+    eprintln!("[written to BENCH_PR4.json]");
 }

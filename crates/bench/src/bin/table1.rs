@@ -41,4 +41,5 @@ fn main() {
     let mut report = format!("# Table I (scale: {})\n\n", cli.scale);
     report.push_str(&render_table1(&rows));
     cli.write_report("table1", &report);
+    cli.finish_trace();
 }

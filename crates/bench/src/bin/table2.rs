@@ -39,4 +39,5 @@ fn main() {
     );
     report.push_str(&render_table2(&rows));
     cli.write_report("table2", &report);
+    cli.finish_trace();
 }

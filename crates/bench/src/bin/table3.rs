@@ -37,4 +37,5 @@ fn main() {
     let mut report = format!("# Table III (scale: {})\n\n", cli.scale);
     report.push_str(&render_table3(&rows));
     cli.write_report("table3", &report);
+    cli.finish_trace();
 }

@@ -21,11 +21,13 @@ pub struct Cli {
     pub epochs: Option<usize>,
     /// Output directory for reports and images.
     pub out: PathBuf,
+    /// Where to write the JSON trace document, if requested.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for Cli {
     fn default() -> Self {
-        Self { scale: Scale::Small, epochs: None, out: PathBuf::from("results") }
+        Self { scale: Scale::Small, epochs: None, out: PathBuf::from("results"), trace_out: None }
     }
 }
 
@@ -53,6 +55,10 @@ impl Cli {
                 "--out" => {
                     cli.out = PathBuf::from(args.next().unwrap_or_default());
                 }
+                "--trace-out" => match args.next() {
+                    Some(v) if !v.is_empty() => cli.trace_out = Some(PathBuf::from(v)),
+                    _ => usage("missing value for --trace-out"),
+                },
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument `{other}`")),
             }
@@ -87,13 +93,28 @@ impl Cli {
         std::fs::write(&path, bytes).expect("write file");
         eprintln!("[written to {}]", path.display());
     }
+
+    /// Writes the accumulated trace to `--trace-out` (no-op when unset).
+    /// Call once, at the end of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file cannot be written.
+    pub fn finish_trace(&self) {
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, rtt_obs::snapshot().to_json()).expect("write trace file");
+            eprintln!("[trace written to {}]", path.display());
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--scale tiny|small|paper] [--epochs N] [--out DIR]");
+    eprintln!(
+        "usage: <bin> [--scale tiny|small|paper] [--epochs N] [--out DIR] [--trace-out FILE]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 

@@ -106,6 +106,7 @@ impl GenParams {
     /// Panics if the library lacks a required gate variant (never the case
     /// for [`CellLibrary::asap7_like`]).
     pub fn generate(&self, library: &CellLibrary) -> GeneratedDesign {
+        let obs = rtt_obs::span("circgen::generate");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut nl = Netlist::new(self.name.clone());
         let mut pool = DriverPool::new();
@@ -173,6 +174,8 @@ impl GenParams {
         }
         nl.validate().expect("generated netlist is valid");
 
+        obs.add("cells", nl.num_cells() as u64);
+        obs.add("nets", nl.num_nets() as u64);
         GeneratedDesign { netlist: nl, num_macros: self.macros, params: self.clone() }
     }
 

@@ -34,6 +34,7 @@ impl LayoutCnn {
     ///
     /// Panics if `maps` is not `[3, G, G]` with `G` a multiple of 4.
     pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, maps: Var<'t>) -> Var<'t> {
+        rtt_obs::span!("core::cnn_forward");
         let h1 = self.conv1.forward(tape, store, maps).relu();
         let p1 = tape.maxpool2d(h1, 2);
         let h2 = self.conv2.forward(tape, store, p1).relu();

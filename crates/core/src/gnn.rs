@@ -206,6 +206,7 @@ impl NetlistGnn {
         feats: &LevelFeats,
         aggregation: Aggregation,
     ) -> Var<'t> {
+        rtt_obs::span!("core::gnn_forward");
         let level_vars = self.forward_levels(tape, store, schedule, feats, aggregation);
         tape.gather_multi(&level_vars, &schedule.endpoint_locs)
     }

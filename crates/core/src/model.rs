@@ -83,6 +83,7 @@ impl TimingModel {
         design: &PreparedDesign,
         batch: Option<&[u32]>,
     ) -> Var<'t> {
+        rtt_obs::span!("core::forward");
         let all: Vec<u32>;
         let indices: &[u32] = match batch {
             Some(b) => b,
@@ -157,7 +158,10 @@ impl TimingModel {
     /// tree, and takes a single optimizer step — so loss curves are
     /// bit-identical for any thread count (`RTT_THREADS=1` included).
     pub fn train(&mut self, designs: &[PreparedDesign], tc: &TrainConfig) -> TrainLog {
+        let obs = rtt_obs::span("core::train");
         assert!(!designs.is_empty(), "training needs at least one design");
+        obs.add("designs", designs.len() as u64);
+        obs.add("epochs", tc.epochs as u64);
         let all: Vec<f32> =
             designs.iter().flat_map(|d| d.targets.iter().map(|&t| self.encode_target(t))).collect();
         let n = all.len() as f32;
@@ -210,6 +214,10 @@ impl TimingModel {
             let results: Vec<(f32, Grads)> = batches
                 .par_iter()
                 .map(|(di, idx)| {
+                    // Root span: worker threads must not inherit (or leak
+                    // into) the caller's span stack, or the recorded tree
+                    // would depend on RTT_THREADS.
+                    let _pass = rtt_obs::root_span("core::train::design_pass");
                     let design = &designs[*di];
                     let tape = Tape::new();
                     let pred_b = this.forward(&tape, design, Some(idx));
@@ -233,6 +241,7 @@ impl TimingModel {
             }
             adam.step(&mut self.store, &Grads::tree_sum(grad_sets));
             epoch_loss /= designs.len() as f32;
+            rtt_obs::series_push("core::train::epoch_loss", f64::from(epoch_loss));
             log.epoch_loss.push(epoch_loss);
             if tc.log_every > 0 && (epoch + 1) % tc.log_every == 0 {
                 eprintln!("epoch {:>4}: loss {epoch_loss:.5}", epoch + 1);
@@ -247,6 +256,8 @@ impl TimingModel {
     /// (hundreds of thousands of endpoints, 128×128 pooled masks) never
     /// materialize the full dense mask matrix.
     pub fn predict(&self, design: &PreparedDesign) -> Vec<f32> {
+        let obs = rtt_obs::span("core::predict");
+        obs.add("endpoints", design.num_endpoints() as u64);
         const CHUNK: usize = 8192;
         let n = design.num_endpoints();
         let mut out = Vec::with_capacity(n);

@@ -56,6 +56,7 @@ impl PreparedDesign {
         config: &ModelConfig,
         targets: Vec<f32>,
     ) -> Self {
+        rtt_obs::span!("core::prepare");
         assert_eq!(targets.len(), graph.endpoints().len(), "one target per endpoint");
         let schedule = GnnSchedule::build(graph);
         let features = NodeFeatures::extract(netlist, library, graph, placement);

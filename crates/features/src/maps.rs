@@ -24,6 +24,7 @@ impl LayoutMaps {
         placement: &Placement,
         grid: usize,
     ) -> Self {
+        rtt_obs::span!("features::layout_maps");
         let density = density_map(netlist, library, placement, grid, grid);
         let rudy = rudy_map(netlist, placement, grid, grid);
         let mut macros = Grid::new(grid, grid, placement.floorplan().die);

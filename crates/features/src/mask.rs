@@ -79,7 +79,9 @@ pub fn endpoint_masks(
     graph: &TimingGraph,
     grid: usize,
 ) -> Vec<f32> {
+    let obs = rtt_obs::span("features::endpoint_masks");
     let eps = graph.endpoints();
+    obs.add("endpoints", eps.len() as u64);
     let mut out = vec![0.0f32; eps.len() * grid * grid];
     out.par_chunks_mut(grid * grid).enumerate().for_each(|(i, row)| {
         let path = longest_path(graph, eps[i]);

@@ -41,6 +41,7 @@ impl NodeFeatures {
         graph: &TimingGraph,
         placement: &Placement,
     ) -> Self {
+        rtt_obs::span!("features::node_features");
         let n = graph.num_nodes();
         let mut cell = vec![0.0f32; n * CELL_FEATURE_DIM];
         let mut net = vec![0.0f32; n * NET_FEATURE_DIM];

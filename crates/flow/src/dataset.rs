@@ -42,6 +42,9 @@ pub fn run_design_flow(
     library: &CellLibrary,
     config: &FlowConfig,
 ) -> DesignData {
+    // Root span: design flows fan out across worker threads; detaching from
+    // the ambient span stack keeps the recorded tree thread-count-invariant.
+    let _flow = rtt_obs::root_span("flow::design_flow");
     let mut rng = StdRng::seed_from_u64(config.seed ^ params.seed);
     let generated = params.generate(library);
     let input_netlist = generated.netlist;
@@ -115,11 +118,13 @@ impl Dataset {
     /// `config.seed ^ params.seed` and shares no other state, so the result
     /// is byte-identical to a serial run regardless of thread count.
     pub fn generate(config: &FlowConfig) -> Self {
+        let obs = rtt_obs::span("flow::dataset_generate");
         let library = CellLibrary::asap7_like();
-        let designs = all_presets(config.scale)
+        let designs: Vec<DesignData> = all_presets(config.scale)
             .par_iter()
             .map(|p| run_design_flow(p, &library, config))
             .collect();
+        obs.add("designs", designs.len() as u64);
         Self { library, designs }
     }
 

@@ -6,8 +6,13 @@
 /// Returns 1.0 for a perfect fit; can be arbitrarily negative for a model
 /// worse than predicting the mean. Returns `f32::NAN` for fewer than two
 /// samples or zero target variance.
+///
+/// Contract: `pred` and `truth` must be the same length — every caller
+/// aligns both to the same endpoint/edge enumeration, so a mismatch is a
+/// caller bug. Checked in debug builds only; release builds truncate to
+/// the shorter slice (the behavior of `zip`).
 pub fn r2_score(pred: &[f32], truth: &[f32]) -> f32 {
-    assert_eq!(pred.len(), truth.len(), "r2 needs aligned slices");
+    debug_assert_eq!(pred.len(), truth.len(), "r2 needs aligned slices");
     if truth.len() < 2 {
         return f32::NAN;
     }
@@ -21,8 +26,10 @@ pub fn r2_score(pred: &[f32], truth: &[f32]) -> f32 {
 }
 
 /// Mean absolute error.
+///
+/// Same length contract as [`r2_score`]: aligned slices, debug-checked.
 pub fn mae(pred: &[f32], truth: &[f32]) -> f32 {
-    assert_eq!(pred.len(), truth.len(), "mae needs aligned slices");
+    debug_assert_eq!(pred.len(), truth.len(), "mae needs aligned slices");
     if pred.is_empty() {
         return f32::NAN;
     }
@@ -62,9 +69,12 @@ mod tests {
         assert!(mae(&[], &[]).is_nan());
     }
 
+    // The alignment contract is debug-checked only, so the panic test is
+    // compiled out of release test runs.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "aligned")]
-    fn mismatched_lengths_panic() {
+    fn mismatched_lengths_panic_in_debug() {
         let _ = r2_score(&[1.0], &[1.0, 2.0]);
     }
 
@@ -87,6 +97,51 @@ mod tests {
         ) {
             let pred: Vec<f32> = truth.iter().map(|t| t + shift).collect();
             prop_assert!((mae(&pred, &truth) - shift.abs()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn perfect_fit_is_exactly_one(
+            truth in proptest::collection::vec(-100.0f32..100.0, 2..30),
+        ) {
+            // ss_res is a sum of exact zeros, so R² is exactly 1.0 whenever
+            // the metric is defined at all (enough variance).
+            let r = r2_score(&truth, &truth);
+            prop_assert!(r.is_nan() || r.to_bits() == 1.0f32.to_bits());
+            prop_assert_eq!(mae(&truth, &truth), 0.0);
+        }
+
+        #[test]
+        fn single_sample_and_constant_truth_are_nan(
+            xi in -100i32..100,
+            pred in proptest::collection::vec(-100.0f32..100.0, 2..20),
+        ) {
+            // Integer-valued constants make the mean exact, so the target
+            // variance is exactly zero (arbitrary floats can leave rounding
+            // residue in ss_tot).
+            let x = xi as f32;
+            prop_assert!(r2_score(&[x], &[x]).is_nan());
+            let constant = vec![x; pred.len()];
+            prop_assert!(r2_score(&pred, &constant).is_nan());
+        }
+
+        #[test]
+        fn metrics_are_jointly_permutation_invariant(
+            pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 3..24),
+            rot in 1usize..23,
+        ) {
+            // Rotating *both* slices by the same amount permutes the sample
+            // order without changing the pairing; float sums reorder, so the
+            // comparison is approximate, not bitwise.
+            let pred: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+            let truth: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+            let k = rot % pairs.len();
+            let mut pred_r = pred.clone();
+            let mut truth_r = truth.clone();
+            pred_r.rotate_left(k);
+            truth_r.rotate_left(k);
+            let (r0, r1) = (r2_score(&pred, &truth), r2_score(&pred_r, &truth_r));
+            prop_assert!((r0.is_nan() && r1.is_nan()) || (r0 - r1).abs() < 1e-3);
+            prop_assert!((mae(&pred, &truth) - mae(&pred_r, &truth_r)).abs() < 1e-3);
         }
     }
 }

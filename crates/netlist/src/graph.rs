@@ -85,6 +85,7 @@ impl TimingGraph {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if levelization stalls.
     pub fn try_build(netlist: &Netlist, library: &CellLibrary) -> Result<Self, NetlistError> {
+        rtt_obs::span!("netlist::timing_graph");
         // Node table over live pins.
         let mut node_of_pin = vec![None; netlist.pin_capacity()];
         let mut nodes = Vec::with_capacity(netlist.num_pins());

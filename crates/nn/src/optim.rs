@@ -56,6 +56,7 @@ impl Adam {
 
     /// Applies one Adam update from `grads`.
     pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
+        rtt_obs::span!("nn::optimizer_step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

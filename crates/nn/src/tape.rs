@@ -1,6 +1,6 @@
 //! Define-by-run computation graph with reverse-mode differentiation.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use rayon::prelude::*;
 
@@ -55,6 +55,10 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    /// Bytes of tensor data appended to the tape arena since the last
+    /// flush; tallied lock-free here and flushed to the global
+    /// `nn::tape_bytes` counter in [`Tape::backward`] / `Drop`.
+    pending_bytes: Cell<u64>,
 }
 
 impl Tape {
@@ -64,9 +68,19 @@ impl Tape {
     }
 
     fn push(&self, value: Tensor, op: Op) -> Var<'_> {
+        self.pending_bytes.set(self.pending_bytes.get() + 4 * value.len() as u64);
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, op });
         Var { tape: self, id: nodes.len() - 1 }
+    }
+
+    /// Moves the locally tallied arena bytes into the global counter.
+    fn flush_bytes(&self) {
+        static TAPE_BYTES: rtt_obs::Counter = rtt_obs::Counter::new("nn::tape_bytes");
+        let bytes = self.pending_bytes.take();
+        if bytes > 0 {
+            TAPE_BYTES.add(bytes);
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -400,6 +414,8 @@ impl Tape {
     ///
     /// Panics if `loss` is not a single-element tensor.
     pub fn backward(&self, loss: Var<'_>) -> Grads {
+        rtt_obs::span!("nn::backward");
+        self.flush_bytes();
         let nodes = self.nodes.borrow();
         assert_eq!(nodes[loss.id].value.len(), 1, "loss must be scalar");
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
@@ -421,6 +437,14 @@ impl Tape {
         }
         out.set_var_grads(grads);
         out
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Forward-only tapes (prediction) never reach `backward`; account
+        // for their arena here.
+        self.flush_bytes();
     }
 }
 
@@ -530,6 +554,10 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
     assert_eq!(cin, wcin, "channel mismatch");
     let oh = h + 2 * pad + 1 - kh;
     let ow = wd + 2 * pad + 1 - kw;
+    static CONV2D_CALLS: rtt_obs::Counter = rtt_obs::Counter::new("nn::conv2d_calls");
+    static CONV2D_FLOPS: rtt_obs::Counter = rtt_obs::Counter::new("nn::conv2d_flops");
+    CONV2D_CALLS.add(1);
+    CONV2D_FLOPS.add(2 * (cout * cin * kh * kw * oh * ow) as u64);
     // im2col: the convolution becomes one dense [cout, cin·kh·kw] ×
     // [cin·kh·kw, oh·ow] product, which reuses the blocked/parallel matmul.
     // Products accumulate in the same (ci, ky, kx) order as a direct loop

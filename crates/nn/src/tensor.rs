@@ -206,6 +206,10 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");
+        static MATMUL_CALLS: rtt_obs::Counter = rtt_obs::Counter::new("nn::matmul_calls");
+        static MATMUL_FLOPS: rtt_obs::Counter = rtt_obs::Counter::new("nn::matmul_flops");
+        MATMUL_CALLS.add(1);
+        MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 1 && parallel::should_parallelize(2 * m * k * n, MM_PAR_FLOPS) {
             let band = m.div_ceil(parallel::num_threads()).max(1);
@@ -235,6 +239,7 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");
         let mut out = Tensor::zeros(&[m, n]);
+        let mut nonzeros = 0u64;
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let o_row = &mut out.data[i * n..(i + 1) * n];
@@ -244,12 +249,19 @@ impl Tensor {
                 if a.to_bits() << 1 == 0 {
                     continue;
                 }
+                nonzeros += 1;
                 let b_row = &other.data[p * n..(p + 1) * n];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
+        static ZS_CALLS: rtt_obs::Counter = rtt_obs::Counter::new("nn::zero_skip_calls");
+        static ZS_ENTRIES: rtt_obs::Counter = rtt_obs::Counter::new("nn::zero_skip_entries");
+        static ZS_NONZEROS: rtt_obs::Counter = rtt_obs::Counter::new("nn::zero_skip_nonzeros");
+        ZS_CALLS.add(1);
+        ZS_ENTRIES.add((m * k) as u64);
+        ZS_NONZEROS.add(nonzeros);
         out
     }
 

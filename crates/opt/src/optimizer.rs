@@ -38,6 +38,7 @@ pub fn optimize(
     library: &CellLibrary,
     config: &OptConfig,
 ) -> OptReport {
+    let obs = rtt_obs::span("opt::optimize");
     let mut report = OptReport::default();
     let route_cfg = RouteConfig::default();
 
@@ -128,6 +129,12 @@ pub fn optimize(
 
     report.wns_after = sta.wns;
     report.tns_after = sta.tns;
+    obs.add("passes", report.passes as u64);
+    obs.add("sizing_ops", report.sizing_ops as u64);
+    obs.add("buffer_ops", (report.buffer_ops + report.drv_buffer_ops) as u64);
+    obs.add("decompose_ops", report.decompose_ops as u64);
+    obs.add("bypass_ops", report.bypass_ops as u64);
+    obs.add("downsize_ops", report.downsize_ops as u64);
     debug_assert!(netlist.validate().is_ok(), "optimizer left an invalid netlist");
     report
 }

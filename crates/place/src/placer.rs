@@ -123,6 +123,9 @@ pub fn place(
     num_macros: usize,
     config: &PlaceConfig,
 ) -> Placement {
+    let obs = rtt_obs::span("place::place");
+    obs.add("cells", netlist.num_cells() as u64);
+    obs.add("iterations", config.iterations as u64);
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Die sizing: standard-cell area / utilization, plus macro area.
@@ -211,6 +214,7 @@ fn refine(
     config: &PlaceConfig,
     rng: &mut StdRng,
 ) -> Placement {
+    rtt_obs::span!("place::refine");
     let live_cells: Vec<CellId> = netlist.cells().map(|(c, _)| c).collect();
     for iter in 0..config.iterations {
         // Cooling schedule: strong pull early, gentler later.
@@ -279,6 +283,7 @@ fn spread(
     config: &PlaceConfig,
     rng: &mut StdRng,
 ) {
+    rtt_obs::span!("place::spread");
     let fp = placement.floorplan.clone();
     // Adapt the grid so an average bin holds several cells; a grid finer
     // than the design cannot express meaningful density.

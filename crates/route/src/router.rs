@@ -120,6 +120,8 @@ pub fn route(
     placement: &Placement,
     config: &RouteConfig,
 ) -> Routing {
+    let obs = rtt_obs::span("route::route");
+    obs.add("nets", netlist.num_nets() as u64);
     let congestion = rudy_map(netlist, placement, config.rudy_grid, config.rudy_grid);
     let mean_c = {
         let v = congestion.values();

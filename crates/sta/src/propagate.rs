@@ -27,6 +27,9 @@ where
     D: FnMut(&TimingEdge) -> f32,
     S: FnMut(u32) -> f32,
 {
+    let obs = rtt_obs::span("sta::propagate");
+    let mut edges = 0u64;
+    let mut max_level = 0u32;
     let mut arrival = vec![0.0f32; graph.num_nodes()];
     for v in graph.topo_order() {
         // `None` means "no fanin yet" — distinct from any arrival value, so
@@ -34,13 +37,18 @@ where
         let mut best: Option<f32> = None;
         for e in graph.fanin(v) {
             let a = arrival[e.from as usize] + edge_delay(e);
+            edges += 1;
             best = Some(match best {
                 Some(b) if b >= a => b,
                 _ => a,
             });
         }
+        max_level = max_level.max(graph.level(v));
         arrival[v as usize] = best.unwrap_or_else(|| source_time(v));
     }
+    obs.add("nodes", graph.num_nodes() as u64);
+    obs.add("edges_relaxed", edges);
+    obs.add("levels", u64::from(max_level) + u64::from(graph.num_nodes() > 0));
     arrival
 }
 
@@ -77,6 +85,7 @@ pub fn run_sta(
     wire: WireModel<'_>,
     clock_period_ps: f32,
 ) -> crate::StaReport {
+    rtt_obs::span!("sta::run");
     // Per-driver output load (for the cell delay model).
     let load_of = |driver: PinId| -> f32 {
         let Some(net_id) = netlist.pin(driver).net else { return 0.0 };

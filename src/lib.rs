@@ -13,6 +13,7 @@
 //! | [`sta`] | `rtt-sta` | Elmore/PERT static timing analysis |
 //! | [`opt`] | `rtt-opt` | restructuring timing optimizer + netlist diff |
 //! | [`nn`] | `rtt-nn` | reverse-mode autodiff tensor engine |
+//! | [`obs`] | `rtt-obs` | deterministic spans, counters, trace exporters |
 //! | [`features`] | `rtt-features` | node features, layout maps, endpoint masks |
 //! | [`model`] | `rtt-core` | the endpoint-embedding multimodal model |
 //! | [`baselines`] | `rtt-baselines` | DAC19 / DAC22-he / DAC22-guo |
@@ -43,6 +44,7 @@ pub use rtt_features as features;
 pub use rtt_flow as flow;
 pub use rtt_netlist as netlist;
 pub use rtt_nn as nn;
+pub use rtt_obs as obs;
 pub use rtt_opt as opt;
 pub use rtt_place as place;
 pub use rtt_route as route;

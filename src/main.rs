@@ -45,6 +45,13 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    // Trace export runs even when the command failed (a partial trace is
+    // often exactly what's needed to debug the failure), but an export
+    // failure turns a successful command into an error exit.
+    let result = match (result, emit_traces(&opts)) {
+        (Err(e), _) => Err(e),
+        (Ok(()), r) => r,
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -52,6 +59,22 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
     }
+}
+
+/// Handles `--trace` (human-readable span tree to stderr) and
+/// `--trace-out FILE` (JSON trace document).
+fn emit_traces(opts: &HashMap<String, String>) -> Result<(), String> {
+    if opts.contains_key("trace") {
+        eprint!("{}", restructure_timing::obs::snapshot().render_tree());
+    }
+    if let Some(path) = opts.get("trace-out") {
+        if path.is_empty() {
+            return Err("missing value for --trace-out".to_owned());
+        }
+        std::fs::write(path, restructure_timing::obs::snapshot().to_json())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn usage() {
@@ -64,16 +87,25 @@ fn usage() {
          \x20 opt  --netlist FILE.v --placement FILE.place --period PS --out DIR\n\
          \x20 flow --design NAME [--scale tiny|small|paper]\n\
          \x20 train   [--scale S] [--epochs N] --weights FILE\n\
-         \x20 predict --netlist FILE.v --placement FILE.place --weights FILE\n"
+         \x20 predict --netlist FILE.v --placement FILE.place --weights FILE\n\
+         \n\
+         every command also accepts:\n\
+         \x20 --trace           print the span tree (counts, wall time, counters) to stderr\n\
+         \x20 --trace-out FILE  write the JSON trace document to FILE\n"
     );
 }
 
 fn parse_opts(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it.next().cloned().unwrap_or_default();
+            // A following `--flag` is the next option, not this one's value,
+            // so value-less flags (`--trace`) compose with valued ones.
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
             out.insert(key.to_owned(), value);
         }
     }

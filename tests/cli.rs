@@ -86,6 +86,71 @@ fn unknown_command_and_missing_args_fail_cleanly() {
 }
 
 #[test]
+fn trace_out_writes_well_formed_json() {
+    let dir = tmpdir("trace");
+    let path = dir.join("trace.json");
+    let out = bin()
+        .args(["flow", "--design", "chacha", "--scale", "tiny", "--trace", "--trace-out"])
+        .arg(&path)
+        .output()
+        .expect("run flow with trace");
+    assert!(out.status.success(), "flow failed: {}", String::from_utf8_lossy(&out.stderr));
+    // --trace prints the human tree to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("flow::design_flow"), "span tree missing: {stderr}");
+
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let doc = restructure_timing::obs::json::Value::parse(&text).expect("trace JSON parses");
+    let structure = doc.get("structure").expect("structure member");
+    let spans = structure.get("spans").expect("spans member");
+    for span in ["flow::design_flow", "flow::design_flow/opt::optimize"] {
+        assert!(spans.get(span).is_some(), "trace missing span `{span}`");
+    }
+    // Durations live outside the structural member.
+    assert!(doc.get("timing_ms").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_structure_is_identical_across_thread_counts() {
+    let dir = tmpdir("trace_threads");
+    let mut structures = Vec::new();
+    for threads in ["1", "4"] {
+        let path = dir.join(format!("trace_{threads}.json"));
+        let out = bin()
+            .args(["flow", "--design", "chacha", "--scale", "tiny", "--trace-out"])
+            .arg(&path)
+            .env("RTT_THREADS", threads)
+            .output()
+            .expect("run flow");
+        assert!(out.status.success(), "flow failed: {}", String::from_utf8_lossy(&out.stderr));
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        let doc = restructure_timing::obs::json::Value::parse(&text).expect("trace JSON parses");
+        structures.push(doc.get("structure").expect("structure member").to_string());
+    }
+    assert_eq!(structures[0], structures[1], "span tree / counters must not depend on RTT_THREADS");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_to_unwritable_path_fails() {
+    let out = bin()
+        .args([
+            "flow",
+            "--design",
+            "chacha",
+            "--scale",
+            "tiny",
+            "--trace-out",
+            "/nonexistent_dir_rtt/trace.json",
+        ])
+        .output()
+        .expect("run flow");
+    assert!(!out.status.success(), "unwritable --trace-out must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
 fn flow_command_prints_replacement_summary() {
     let out =
         bin().args(["flow", "--design", "chacha", "--scale", "tiny"]).output().expect("run flow");

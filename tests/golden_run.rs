@@ -1,0 +1,81 @@
+//! Golden-run regression test: a short, fully seeded train/predict cycle
+//! whose outputs are compared byte-for-byte against a checked-in golden
+//! file.
+//!
+//! The entire pipeline is deterministic by contract (fixed seeds, ordered
+//! reductions, thread-count-invariant math), so any diff here means a
+//! behavioral change — intended or not. To re-bless after an *intended*
+//! numeric change:
+//!
+//! ```text
+//! RTT_BLESS=1 cargo test --test golden_run
+//! ```
+//!
+//! then commit the updated `tests/golden/golden_run.txt` and call out the
+//! re-bless (with why) in the PR description.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use restructure_timing::prelude::*;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/golden_run.txt")
+}
+
+/// Runs the canonical two-epoch golden workload and renders every output
+/// that must stay bit-stable: final loss, per-epoch losses, and every
+/// prediction (as both decimal and the exact f32 bit pattern).
+fn run_golden_workload() -> String {
+    let lib = CellLibrary::asap7_like();
+    let design = GenParams::new("golden", 150, 7).generate(&lib);
+    let pl = place(&design.netlist, &lib, 0, &PlaceConfig::default());
+    let rt = route(&design.netlist, &lib, &pl, &RouteConfig::default());
+    let graph = TimingGraph::build(&design.netlist, &lib);
+    let sta = run_sta(&design.netlist, &lib, &graph, WireModel::Routed(&rt), 500.0);
+    let targets: Vec<f32> = sta.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
+
+    let cfg = ModelConfig::tiny();
+    let prep = PreparedDesign::prepare(&design.netlist, &lib, &pl, &graph, &cfg, targets);
+    let mut model = TimingModel::new(cfg);
+    let log = model
+        .train(std::slice::from_ref(&prep), &TrainConfig { epochs: 2, ..TrainConfig::default() });
+    let pred = model.predict(&prep);
+
+    let mut out = String::new();
+    writeln!(out, "golden run: design=golden cells=150 seed=7 epochs=2").unwrap();
+    for (i, l) in log.epoch_loss.iter().enumerate() {
+        writeln!(out, "epoch {i} loss {l:.9e} bits 0x{:08x}", l.to_bits()).unwrap();
+    }
+    writeln!(out, "endpoints {}", pred.len()).unwrap();
+    for (i, p) in pred.iter().enumerate() {
+        writeln!(out, "pred {i} {p:.9e} bits 0x{:08x}", p.to_bits()).unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_run_matches_blessed_output() {
+    let text = run_golden_workload();
+    let path = golden_path();
+    if std::env::var_os("RTT_BLESS").is_some() {
+        std::fs::write(&path, &text).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nmissing or unreadable golden file; create it with \
+             `RTT_BLESS=1 cargo test --test golden_run`",
+            path.display()
+        )
+    });
+    assert!(
+        text == golden,
+        "golden-run output drifted from {}.\n\
+         If the numeric change is intended, re-bless with \
+         `RTT_BLESS=1 cargo test --test golden_run` and commit the new file.\n\
+         --- expected ---\n{golden}\n--- actual ---\n{text}",
+        path.display()
+    );
+}
