@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use rtt_core::{Aggregation, GnnSchedule, LevelFeats, ModelConfig, NetlistGnn};
 use rtt_features::NodeFeatures;
 use rtt_netlist::NodeKind;
-use rtt_nn::{mse, Adam, Mlp, ParamStore, Tape, Tensor};
+use rtt_nn::{mse, Adam, Exec, InferCtx, Mlp, ParamStore, Tape, Tensor};
 
 use crate::BaselineInputs;
 
@@ -68,7 +68,8 @@ fn prepare(inputs: &BaselineInputs<'_>) -> Prepared {
         }
         match graph.node_kind(v) {
             NodeKind::NetSink => {
-                let e = graph.fanin(v).next().expect("net node has driver");
+                // A net sink without a driver edge carries no delay label.
+                let Some(e) = graph.fanin(v).next() else { continue };
                 let key = (graph.pin_of(e.from), pin);
                 if let Some(&d) = inputs.signoff_net_delays.get(&key) {
                     net_locs.push(schedule.loc_of(v));
@@ -237,15 +238,34 @@ impl GuoModel {
         tape.constant(Tensor::from_vec(&[labels.len(), 1], data))
     }
 
-    /// Predicts endpoint arrivals for a design.
+    /// Normalized endpoint predictions on any execution backend.
+    fn endpoint_pred<E: Exec>(&self, ex: E, p: &Prepared) -> Tensor {
+        let levels =
+            self.gnn.forward_levels(ex, &self.store, &p.schedule, &p.feats, Aggregation::Max);
+        let emb = ex.scale(ex.gather_multi(&levels, &p.ep_locs), rtt_core::READOUT_SCALE);
+        ex.value(self.arrival_head.forward(ex, &self.store, emb))
+    }
+
+    /// Predicts endpoint arrivals for a design (tape-free backend).
     pub fn predict_endpoints(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
         let p = prepare(inputs);
-        let tape = Tape::new();
-        let levels =
-            self.gnn.forward_levels(&tape, &self.store, &p.schedule, &p.feats, Aggregation::Max);
-        let emb = tape.gather_multi(&levels, &p.ep_locs).scale(rtt_core::READOUT_SCALE);
-        let pred = self.arrival_head.forward(&tape, &self.store, emb);
-        tape.value(pred).data().iter().map(|v| v * self.arr_std + self.arr_mean).collect()
+        let ctx = InferCtx::new();
+        self.endpoint_pred(&ctx, &p)
+            .data()
+            .iter()
+            .map(|v| v * self.arr_std + self.arr_mean)
+            .collect()
+    }
+
+    /// Reference implementation of [`Self::predict_endpoints`] on the tape
+    /// backend; the equivalence suite asserts bit-identical outputs.
+    pub fn predict_endpoints_taped(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
+        let p = prepare(inputs);
+        self.endpoint_pred(&Tape::new(), &p)
+            .data()
+            .iter()
+            .map(|v| v * self.arr_std + self.arr_mean)
+            .collect()
     }
 
     /// `(prediction, label)` pairs for the auxiliary local tasks on the

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rtt_netlist::{EdgeKind, GateFn, PinDir, PinId};
-use rtt_nn::{mse, Adam, Mlp, ParamStore, Tape, Tensor};
+use rtt_nn::{mse, Adam, Exec, InferCtx, Mlp, ParamStore, Tape, Tensor};
 use rtt_route::{route, RouteConfig};
 use rtt_sta::propagate;
 
@@ -64,7 +64,8 @@ fn extract_features(inputs: &BaselineInputs<'_>, kind: TwoStageKind) -> StageFea
         }
         let driver = inputs.graph.pin_of(e.from);
         let sink = inputs.graph.pin_of(e.to);
-        let net_id = e.net.expect("net edge");
+        // Net edges always carry their net id; skip rather than assume.
+        let Some(net_id) = e.net else { continue };
         let net = inputs.netlist.net(net_id);
 
         let dp = inputs.placement.pin_position(inputs.netlist, driver);
@@ -94,8 +95,9 @@ fn extract_features(inputs: &BaselineInputs<'_>, kind: TwoStageKind) -> StageFea
             })
             .sum::<f32>()
             / 10.0;
-        if let Some(la) = &lookahead {
-            let rn = la.net(net_id).expect("live net routed");
+        // A net the look-ahead router skipped contributes no RC estimate
+        // (feature stays 0) instead of sinking the whole extraction.
+        if let Some(rn) = lookahead.as_ref().and_then(|la| la.net(net_id)) {
             let wire = rn.sink_delay(sink).unwrap_or(0.0);
             let cell = match inputs.netlist.pin(driver).cell {
                 Some(cid) => {
@@ -189,21 +191,45 @@ impl TwoStageModel {
         }
     }
 
-    /// Predicts the stage delay of every net edge of a design.
-    pub fn predict_stages(&self, inputs: &BaselineInputs<'_>) -> HashMap<(PinId, PinId), f32> {
-        let sf = extract_features(inputs, self.kind);
-        let tape = Tape::new();
-        let x = tape.constant(sf.feats);
-        let pred = self.mlp.forward(&tape, &self.store, x);
-        let vals = tape.value(pred);
-        sf.edges
-            .iter()
+    /// Raw regressor outputs for a feature matrix, on any backend.
+    fn stage_values<E: Exec>(&self, ex: E, feats: Tensor) -> Tensor {
+        let x = ex.constant(feats);
+        ex.value(self.mlp.forward(ex, &self.store, x))
+    }
+
+    fn decode_stages(
+        &self,
+        edges: Vec<(PinId, PinId)>,
+        vals: &Tensor,
+    ) -> HashMap<(PinId, PinId), f32> {
+        edges
+            .into_iter()
             .enumerate()
-            .map(|(i, &k)| {
+            .map(|(i, k)| {
                 let encoded = vals.data()[i] * self.label_std + self.label_mean;
                 (k, encoded.exp() - 1.0)
             })
             .collect()
+    }
+
+    /// Predicts the stage delay of every net edge of a design (tape-free
+    /// backend).
+    pub fn predict_stages(&self, inputs: &BaselineInputs<'_>) -> HashMap<(PinId, PinId), f32> {
+        let sf = extract_features(inputs, self.kind);
+        let ctx = InferCtx::new();
+        let vals = self.stage_values(&ctx, sf.feats);
+        self.decode_stages(sf.edges, &vals)
+    }
+
+    /// Reference implementation of [`Self::predict_stages`] on the tape
+    /// backend; the equivalence suite asserts bit-identical outputs.
+    pub fn predict_stages_taped(
+        &self,
+        inputs: &BaselineInputs<'_>,
+    ) -> HashMap<(PinId, PinId), f32> {
+        let sf = extract_features(inputs, self.kind);
+        let vals = self.stage_values(&Tape::new(), sf.feats);
+        self.decode_stages(sf.edges, &vals)
     }
 
     /// `(prediction, label)` pairs on the *surviving* stages — the data
@@ -217,7 +243,20 @@ impl TwoStageModel {
     /// predicted stage delays (cell arcs fold into the stage of their
     /// output net edge).
     pub fn predict_endpoints(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
-        let stages = self.predict_stages(inputs);
+        self.assemble_endpoints(inputs, &self.predict_stages(inputs))
+    }
+
+    /// Reference implementation of [`Self::predict_endpoints`] via
+    /// [`Self::predict_stages_taped`].
+    pub fn predict_endpoints_taped(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
+        self.assemble_endpoints(inputs, &self.predict_stages_taped(inputs))
+    }
+
+    fn assemble_endpoints(
+        &self,
+        inputs: &BaselineInputs<'_>,
+        stages: &HashMap<(PinId, PinId), f32>,
+    ) -> Vec<f32> {
         let graph = inputs.graph;
         let arrivals = propagate(
             graph,

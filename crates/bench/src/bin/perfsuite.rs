@@ -3,7 +3,7 @@
 //! Times the four workloads the parallel execution layer targets — dataset
 //! generation, GNN forward, CNN forward, and one training epoch — once with
 //! one thread and once with all available cores, then writes the results to
-//! `BENCH_PR4.json` in the current directory (and prints them). Every
+//! `BENCH_PR5.json` in the current directory (and prints them). Every
 //! workload is bit-identical across thread counts, so this suite measures
 //! speed only.
 //!
@@ -11,6 +11,11 @@
 //! (wall time, call counts, counters) of one instrumented end-to-end pass —
 //! circuit generation through placement, routing, STA, feature extraction,
 //! and a training epoch (forward, backward, optimizer step).
+//!
+//! An `inference` section compares the tape-free serving path
+//! (`TimingModel::predict_with` on a persistent `InferCtx` arena) against
+//! the tape-backed reference (`predict_taped`): endpoints/sec for both,
+//! the speedup, and bytes allocated per pass by each backend.
 
 #![allow(clippy::print_stdout)] // reports/tables go to stdout by design
 
@@ -21,7 +26,7 @@ use rtt_core::{ModelConfig, PreparedDesign, TimingModel, TrainConfig};
 use rtt_features::endpoint_masks;
 use rtt_flow::{Dataset, FlowConfig};
 use rtt_netlist::{CellLibrary, TimingGraph};
-use rtt_nn::parallel;
+use rtt_nn::{parallel, InferCtx};
 use rtt_place::{place, PlaceConfig};
 use rtt_route::{route, RouteConfig};
 use rtt_sta::{run_sta, WireModel};
@@ -123,6 +128,49 @@ fn main() {
         model.train(&designs, &tc)
     }));
 
+    // Inference: tape-free serving vs the tape-backed reference on the
+    // 2000-cell design, at all cores (the serving configuration). One
+    // InferCtx persists across passes, so steady-state passes should
+    // allocate (nearly) nothing; the tape re-appends every pass.
+    parallel::set_num_threads(cores);
+    let infer_reps = 7;
+    let n_ep = gnn_design.num_endpoints();
+    let ctx = InferCtx::new();
+    let _ = gnn_model.predict_with(&ctx, &gnn_design); // warm the arena
+    let _ = gnn_model.predict_taped(&gnn_design);
+    rtt_obs::reset();
+    let taped_s = time_median(infer_reps, || gnn_model.predict_taped(&gnn_design));
+    let tape_bytes = rtt_obs::snapshot().counters.get("nn::tape_bytes").copied().unwrap_or(0)
+        / infer_reps as u64;
+    rtt_obs::reset();
+    let infer_s = time_median(infer_reps, || gnn_model.predict_with(&ctx, &gnn_design));
+    let arena_growth =
+        rtt_obs::snapshot().counters.get("nn::infer_arena_bytes").copied().unwrap_or(0)
+            / infer_reps as u64;
+    let arena_resident = ctx.arena_bytes();
+    parallel::set_num_threads(1);
+    let infer_speedup = taped_s / infer_s.max(1e-12);
+    println!(
+        "\ninference ({n_ep} endpoints, {cores} threads):\n\
+         {:<22} {:>9.4}s  {:>10.0} ep/s  {:>12} bytes/pass\n\
+         {:<22} {:>9.4}s  {:>10.0} ep/s  {:>12} bytes/pass ({} resident)\n\
+         {:<22} {infer_speedup:>8.2}x",
+        "tape-backed",
+        taped_s,
+        n_ep as f64 / taped_s.max(1e-12),
+        tape_bytes,
+        "tape-free",
+        infer_s,
+        n_ep as f64 / infer_s.max(1e-12),
+        arena_growth,
+        arena_resident,
+        "speedup"
+    );
+    assert!(
+        arena_growth < tape_bytes,
+        "tape-free steady state allocated {arena_growth} B/pass, tape appended {tape_bytes} B/pass"
+    );
+
     // Per-stage breakdown: reset the span registry so it reflects exactly
     // one instrumented end-to-end pass (generation → place → route → STA →
     // features → one training epoch), then dump the tree.
@@ -150,6 +198,17 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"inference\": {{\"endpoints\": {n_ep}, \"threads\": {cores}, \
+         \"taped_s\": {taped_s:.6}, \"taped_endpoints_per_s\": {:.1}, \
+         \"tape_bytes_per_pass\": {tape_bytes}, \
+         \"infer_s\": {infer_s:.6}, \"infer_endpoints_per_s\": {:.1}, \
+         \"arena_growth_bytes_per_pass\": {arena_growth}, \
+         \"arena_resident_bytes\": {arena_resident}, \
+         \"speedup\": {infer_speedup:.3}}},\n",
+        n_ep as f64 / taped_s.max(1e-12),
+        n_ep as f64 / infer_s.max(1e-12),
+    ));
     json.push_str("  \"stages\": {\n");
     let n_spans = snap.spans.len();
     for (i, (path, s)) in snap.spans.iter().enumerate() {
@@ -161,6 +220,6 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write("BENCH_PR4.json", json).expect("write BENCH_PR4.json");
-    eprintln!("[written to BENCH_PR4.json]");
+    std::fs::write("BENCH_PR5.json", json).expect("write BENCH_PR5.json");
+    eprintln!("[written to BENCH_PR5.json]");
 }

@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use rtt_nn::{Conv2d, ParamStore, Tape, Var};
+use rtt_nn::{Conv2d, Exec, ParamStore};
 
 use crate::ModelConfig;
 
@@ -33,16 +33,15 @@ impl LayoutCnn {
     /// # Panics
     ///
     /// Panics if `maps` is not `[3, G, G]` with `G` a multiple of 4.
-    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, maps: Var<'t>) -> Var<'t> {
+    pub fn forward<E: Exec>(&self, ex: E, store: &ParamStore, maps: E::Value) -> E::Value {
         rtt_obs::span!("core::cnn_forward");
-        let h1 = self.conv1.forward(tape, store, maps).relu();
-        let p1 = tape.maxpool2d(h1, 2);
-        let h2 = self.conv2.forward(tape, store, p1).relu();
-        let p2 = tape.maxpool2d(h2, 2);
-        let fused = self.fuse.forward(tape, store, p2);
-        let t = tape.value(fused);
-        let n = t.len();
-        fused.reshape(&[n])
+        let h1 = ex.relu(self.conv1.forward(ex, store, maps));
+        let p1 = ex.maxpool2d(h1, 2);
+        let h2 = ex.relu(self.conv2.forward(ex, store, p1));
+        let p2 = ex.maxpool2d(h2, 2);
+        let fused = self.fuse.forward(ex, store, p2);
+        let n = ex.len(fused);
+        ex.reshape(fused, &[n])
     }
 }
 
@@ -50,7 +49,7 @@ impl LayoutCnn {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rtt_nn::Tensor;
+    use rtt_nn::{Tape, Tensor};
 
     #[test]
     fn output_is_quarter_resolution() {

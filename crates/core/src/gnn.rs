@@ -5,7 +5,7 @@ use rand::Rng;
 
 use rtt_features::{NodeFeatures, CELL_FEATURE_DIM, NET_FEATURE_DIM};
 use rtt_netlist::{EdgeKind, NodeKind, TimingGraph};
-use rtt_nn::{Mlp, ParamStore, Tape, Tensor, Var};
+use rtt_nn::{Exec, Mlp, ParamStore, Tensor};
 
 use crate::{Aggregation, ModelConfig};
 
@@ -108,7 +108,7 @@ impl GnnSchedule {
     }
 
     /// `(level, row)` location of a graph node in the level matrices —
-    /// usable as a [`Tape::gather_multi`] index over the output of
+    /// usable as an [`Exec::gather_multi`] index over the output of
     /// [`NetlistGnn::forward_levels`].
     pub fn loc_of(&self, node: u32) -> (u32, u32) {
         self.node_loc[node as usize]
@@ -193,99 +193,98 @@ impl NetlistGnn {
     }
 
     /// Runs levelized propagation and returns the endpoint embedding
-    /// matrix `[num_endpoints, embed_dim]`.
+    /// matrix `[num_endpoints, embed_dim]` on any execution backend
+    /// (`&Tape` for training, `&InferCtx` for tape-free serving).
     ///
     /// # Panics
     ///
     /// Panics if `feats` does not match `schedule` (group shape mismatch).
-    pub fn forward<'t>(
+    pub fn forward<E: Exec>(
         &self,
-        tape: &'t Tape,
+        ex: E,
         store: &ParamStore,
         schedule: &GnnSchedule,
         feats: &LevelFeats,
         aggregation: Aggregation,
-    ) -> Var<'t> {
+    ) -> E::Value {
         rtt_obs::span!("core::gnn_forward");
-        let level_vars = self.forward_levels(tape, store, schedule, feats, aggregation);
-        tape.gather_multi(&level_vars, &schedule.endpoint_locs)
+        let level_vars = self.forward_levels(ex, store, schedule, feats, aggregation);
+        ex.gather_multi(&level_vars, &schedule.endpoint_locs)
     }
 
     /// Like [`Self::forward`], but returns every per-level embedding matrix
     /// so callers can read out arbitrary node embeddings via
     /// [`GnnSchedule::loc_of`] (the end-to-end baseline predicts at all
     /// pins, not only endpoints).
-    pub fn forward_levels<'t>(
+    pub fn forward_levels<E: Exec>(
         &self,
-        tape: &'t Tape,
+        ex: E,
         store: &ParamStore,
         schedule: &GnnSchedule,
         feats: &LevelFeats,
         aggregation: Aggregation,
-    ) -> Vec<Var<'t>> {
-        let mut level_vars: Vec<Var<'t>> = Vec::with_capacity(schedule.levels.len());
+    ) -> Vec<E::Value> {
+        let mut level_vars: Vec<E::Value> = Vec::with_capacity(schedule.levels.len());
         for (l, plan) in schedule.levels.iter().enumerate() {
-            let mut groups: Vec<Var<'t>> = Vec::new();
+            let mut groups: Vec<E::Value> = Vec::new();
 
             if !plan.cell_nodes.is_empty() {
-                let msgs = tape.gather_multi(&level_vars, &plan.cell_gather);
+                let msgs = ex.gather_multi(&level_vars, &plan.cell_gather);
                 let agg = match aggregation {
-                    Aggregation::Max => {
-                        tape.segment_max(msgs, &plan.cell_seg, plan.cell_nodes.len())
-                    }
+                    Aggregation::Max => ex.segment_max(msgs, &plan.cell_seg, plan.cell_nodes.len()),
                     Aggregation::Mean => {
-                        let sum = tape.segment_sum(msgs, &plan.cell_seg, plan.cell_nodes.len());
+                        let sum = ex.segment_sum(msgs, &plan.cell_seg, plan.cell_nodes.len());
                         let inv: Vec<f32> =
                             plan.cell_fanin.iter().map(|&c| 1.0 / c.max(1.0)).collect();
-                        tape.scale_rows(sum, &inv)
+                        ex.scale_rows(sum, &inv)
                     }
                 };
-                let feat = tape.constant(feats.cell[l].clone().expect("cell feats present"));
-                let h = if self.residual {
-                    // Residual: accumulate a *bounded* non-negative
-                    // increment on top of the worst fanin message,
-                    // mirroring arrival-time propagation. The context into
-                    // f_c1 is tanh-bounded: an increment proportional to
-                    // the accumulated magnitude would grow exponentially
-                    // over hundred-level cones.
-                    let ctx = agg.tanh();
-                    let inc = self
-                        .f_c1
-                        .forward(tape, store, ctx)
-                        .add(self.f_c2.forward(tape, store, feat))
-                        .relu();
-                    agg.add(inc)
-                } else {
-                    // Literal Equation 3.
-                    self.f_c1
-                        .forward(tape, store, agg)
-                        .add(self.f_c2.forward(tape, store, feat))
-                        .relu()
-                };
+                let feat = ex.constant(feats.cell[l].clone().expect("cell feats present"));
+                let h =
+                    if self.residual {
+                        // Residual: accumulate a *bounded* non-negative
+                        // increment on top of the worst fanin message,
+                        // mirroring arrival-time propagation. The context into
+                        // f_c1 is tanh-bounded: an increment proportional to
+                        // the accumulated magnitude would grow exponentially
+                        // over hundred-level cones.
+                        let ctx = ex.tanh(agg);
+                        let inc = ex.relu(ex.add(
+                            self.f_c1.forward(ex, store, ctx),
+                            self.f_c2.forward(ex, store, feat),
+                        ));
+                        ex.add(agg, inc)
+                    } else {
+                        // Literal Equation 3.
+                        ex.relu(ex.add(
+                            self.f_c1.forward(ex, store, agg),
+                            self.f_c2.forward(ex, store, feat),
+                        ))
+                    };
                 groups.push(h);
             }
             if !plan.net_nodes.is_empty() {
-                let msg = tape.gather_multi(&level_vars, &plan.net_gather);
-                let feat = tape.constant(feats.net[l].clone().expect("net feats present"));
+                let msg = ex.gather_multi(&level_vars, &plan.net_gather);
+                let feat = ex.constant(feats.net[l].clone().expect("net feats present"));
                 let inc = if self.residual {
-                    self.f_n.forward(tape, store, feat).relu()
+                    ex.relu(self.f_n.forward(ex, store, feat))
                 } else {
-                    msg.add(self.f_n.forward(tape, store, feat)).relu()
+                    ex.relu(ex.add(msg, self.f_n.forward(ex, store, feat)))
                 };
-                let h = if self.residual { msg.add(inc) } else { inc };
+                let h = if self.residual { ex.add(msg, inc) } else { inc };
                 groups.push(h);
             }
             if !plan.source_nodes.is_empty() {
-                let feat = tape.constant(feats.source[l].clone().expect("source feats present"));
-                let h = self.f_c2.forward(tape, store, feat).relu();
+                let feat = ex.constant(feats.source[l].clone().expect("source feats present"));
+                let h = ex.relu(self.f_c2.forward(ex, store, feat));
                 groups.push(h);
             }
 
             let concat = groups
                 .into_iter()
-                .reduce(|a, b| tape.concat_rows(a, b))
+                .reduce(|a, b| ex.concat_rows(a, b))
                 .expect("every level has nodes");
-            level_vars.push(tape.gather_rows(concat, &plan.perm));
+            level_vars.push(ex.gather_rows(concat, &plan.perm));
         }
         level_vars
     }
@@ -297,6 +296,7 @@ mod tests {
     use rand::SeedableRng;
     use rtt_circgen::{ripple_carry_adder, GenParams};
     use rtt_netlist::CellLibrary;
+    use rtt_nn::Tape;
     use rtt_place::{place, PlaceConfig};
 
     fn world(cells: usize) -> (GnnSchedule, LevelFeats, usize) {

@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use rtt_nn::{mse, Adam, Grads, Linear, Mlp, ParamStore, Tape, Tensor, Var};
+use rtt_nn::{mse, Adam, Exec, Grads, InferCtx, Linear, Mlp, ParamStore, Tape, Tensor};
 
 use crate::cnn::LayoutCnn;
 use crate::gnn::NetlistGnn;
@@ -77,12 +77,7 @@ impl TimingModel {
     /// whole DAG), but the layout branch and regressor run only on the
     /// requested rows — this is what keeps masked-layout training cheap and
     /// paper-scale masks out of memory (they are densified per batch).
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        design: &PreparedDesign,
-        batch: Option<&[u32]>,
-    ) -> Var<'t> {
+    fn forward<E: Exec>(&self, ex: E, design: &PreparedDesign, batch: Option<&[u32]>) -> E::Value {
         rtt_obs::span!("core::forward");
         let all: Vec<u32>;
         let indices: &[u32] = match batch {
@@ -94,41 +89,41 @@ impl TimingModel {
         };
         let netlist_emb = self.gnn.as_ref().map(|gnn| {
             let emb = gnn.forward(
-                tape,
+                ex,
                 &self.store,
                 &design.schedule,
                 &design.feats,
                 self.config.aggregation,
             );
-            let rows = tape.gather_rows(emb, indices);
+            let rows = ex.gather_rows(emb, indices);
             if self.config.residual {
                 // Residual embeddings accumulate over up to hundreds of
                 // levels; rescale into an O(1) regime for the regressor.
-                rows.scale(crate::READOUT_SCALE)
+                ex.scale(rows, crate::READOUT_SCALE)
             } else {
                 rows
             }
         });
         let layout_emb = self.cnn.as_ref().map(|(trunk, fc)| {
-            let maps = tape.constant(design.maps.clone());
-            let global_map = trunk.forward(tape, &self.store, maps);
+            let maps = ex.constant(design.maps.clone());
+            let global_map = trunk.forward(ex, &self.store, maps);
             let masks = if self.config.masking {
-                tape.constant(design.dense_mask_rows(indices))
+                ex.constant(design.dense_mask_rows(indices))
             } else {
                 // Ablation A2: every endpoint sees the full layout map.
                 let cols = design.mask_grid * design.mask_grid;
-                tape.constant(Tensor::full(&[indices.len().max(1), cols], 1.0))
+                ex.constant(Tensor::full(&[indices.len().max(1), cols], 1.0))
             };
-            let masked = masks.mul_row(global_map);
-            fc.forward(tape, &self.store, masked)
+            let masked = ex.mul_row(masks, global_map);
+            fc.forward(ex, &self.store, masked)
         });
         let fused = match (netlist_emb, layout_emb) {
-            (Some(n), Some(l)) => tape.concat_cols(n, l),
+            (Some(n), Some(l)) => ex.concat_cols(n, l),
             (Some(n), None) => n,
             (None, Some(l)) => l,
             (None, None) => unreachable!("at least one branch is active"),
         };
-        self.regressor.forward(tape, &self.store, fused)
+        self.regressor.forward(ex, &self.store, fused)
     }
 
     /// Forward target transform: optional log space (see
@@ -250,20 +245,67 @@ impl TimingModel {
         log
     }
 
-    /// Predicts endpoint arrival times (ps) for a prepared design.
+    /// Predicts endpoint arrival times (ps) for a prepared design on the
+    /// tape-free inference backend.
     ///
     /// Endpoints are processed in chunks so that even paper-scale designs
     /// (hundreds of thousands of endpoints, 128×128 pooled masks) never
-    /// materialize the full dense mask matrix.
+    /// materialize the full dense mask matrix. All chunks share one
+    /// [`InferCtx`] arena, so after the first chunk the forward pass
+    /// allocates (nearly) nothing. Outputs are bit-identical to
+    /// [`Self::predict_taped`] because both backends run the same
+    /// [`rtt_nn::ops`] kernels in the same order.
     pub fn predict(&self, design: &PreparedDesign) -> Vec<f32> {
+        self.predict_with(&InferCtx::new(), design)
+    }
+
+    /// Like [`Self::predict`], but on a caller-owned [`InferCtx`], so the
+    /// buffer arena persists across designs: a serving loop that scores
+    /// many designs (or the same design repeatedly) through one context
+    /// allocates on the first pass and reuses those buffers afterwards.
+    pub fn predict_with(&self, ctx: &InferCtx, design: &PreparedDesign) -> Vec<f32> {
         let obs = rtt_obs::span("core::predict");
         obs.add("endpoints", design.num_endpoints() as u64);
-        const CHUNK: usize = 8192;
         let n = design.num_endpoints();
         let mut out = Vec::with_capacity(n);
         let mut start = 0usize;
         while start < n {
-            let end = (start + CHUNK).min(n);
+            let end = (start + Self::PREDICT_CHUNK).min(n);
+            let idx: Vec<u32> = (start as u32..end as u32).collect();
+            let chunk = rtt_obs::span("nn::infer");
+            ctx.reset();
+            let pred = self.forward(ctx, design, Some(&idx));
+            out.extend(
+                ctx.value(pred)
+                    .data()
+                    .iter()
+                    .map(|p| self.decode_target(p * self.target_std + self.target_mean)),
+            );
+            chunk.add("endpoints", idx.len() as u64);
+            drop(chunk);
+            start = end;
+        }
+        out
+    }
+
+    /// Endpoints per forward pass in [`Self::predict`] /
+    /// [`Self::predict_taped`].
+    const PREDICT_CHUNK: usize = 8192;
+
+    /// Reference implementation of [`Self::predict`] on the tape backend.
+    ///
+    /// Builds (and throws away) a gradient tape per chunk exactly as the
+    /// pre-split `predict` did. Kept public so the equivalence suite and
+    /// the perf harness can compare the two backends; serving code should
+    /// call [`Self::predict`].
+    pub fn predict_taped(&self, design: &PreparedDesign) -> Vec<f32> {
+        let obs = rtt_obs::span("core::predict_taped");
+        obs.add("endpoints", design.num_endpoints() as u64);
+        let n = design.num_endpoints();
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + Self::PREDICT_CHUNK).min(n);
             let idx: Vec<u32> = (start as u32..end as u32).collect();
             let tape = Tape::new();
             let pred = self.forward(&tape, design, Some(&idx));

@@ -342,7 +342,10 @@ pub struct Table3Row {
 /// Measures the runtime comparison of Table III on every design.
 ///
 /// The model's weights do not affect inference cost, so a freshly
-/// initialized model of the given architecture is used.
+/// initialized model of the given architecture is used. Inference runs
+/// the production predict path — the tape-free [`rtt_nn::InferCtx`]
+/// backend — so the `infer (s)` column pays no autodiff bookkeeping and
+/// reuses one buffer arena across endpoint chunks.
 pub fn table3(dataset: &Dataset, model_config: &ModelConfig) -> Vec<Table3Row> {
     let model = TimingModel::new(model_config.clone());
     dataset

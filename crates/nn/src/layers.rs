@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{ParamId, ParamStore, Tape, Tensor, Var};
+use crate::{Exec, ParamId, ParamStore, Tensor};
 
 /// A fully-connected layer `y = x·W + b`.
 #[derive(Clone, Debug)]
@@ -31,15 +31,16 @@ impl Linear {
         self.out_dim
     }
 
-    /// Applies the layer to a `[rows, in_dim]` matrix.
+    /// Applies the layer to a `[rows, in_dim]` matrix on any execution
+    /// backend (`&Tape` for training, `&InferCtx` for tape-free serving).
     ///
     /// # Panics
     ///
     /// Panics if the input width mismatches.
-    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
-        let w = tape.param(store, self.w);
-        let b = tape.param(store, self.b);
-        x.matmul(w).add_row(b)
+    pub fn forward<E: Exec>(&self, ex: E, store: &ParamStore, x: E::Value) -> E::Value {
+        let w = ex.param(store, self.w);
+        let b = ex.param(store, self.b);
+        ex.add_row(ex.matmul(x, w), b)
     }
 }
 
@@ -96,12 +97,12 @@ impl Mlp {
 
     /// Applies all layers with ReLU on every hidden activation (the output
     /// layer is linear).
-    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
+    pub fn forward<E: Exec>(&self, ex: E, store: &ParamStore, x: E::Value) -> E::Value {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, store, h);
+            h = layer.forward(ex, store, h);
             if i + 1 < self.layers.len() {
-                h = h.relu();
+                h = ex.relu(h);
             }
         }
         h
@@ -138,17 +139,17 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
-        let w = tape.param(store, self.w);
-        let b = tape.param(store, self.b);
-        tape.conv2d(x, w, self.pad).add_channel(b)
+    pub fn forward<E: Exec>(&self, ex: E, store: &ParamStore, x: E::Value) -> E::Value {
+        let w = ex.param(store, self.w);
+        let b = ex.param(store, self.b);
+        ex.add_channel(ex.conv2d(x, w, self.pad), b)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{mse, Adam};
+    use crate::{mse, Adam, Tape};
     use rand::SeedableRng;
 
     #[test]

@@ -12,8 +12,13 @@
 //! # Architecture
 //!
 //! * [`Tensor`] — a dense row-major float tensor.
+//! * [`ops`] — pure forward kernels, written once and shared by both
+//!   execution backends (the bit-identity contract lives here).
 //! * [`Tape`] / [`Var`] — a define-by-run computation graph; every forward
 //!   op records what it needs for the backward sweep.
+//! * [`Exec`] — the execution-backend trait model code is generic over.
+//! * [`InferCtx`] — the tape-free inference backend: same kernels, no
+//!   gradient nodes, a buffer arena recycled across forward passes.
 //! * [`ParamStore`] / [`ParamId`] — long-lived trainable tensors, injected
 //!   into each tape as leaves and updated from [`Grads`] by an optimizer.
 //! * [`Linear`], [`Mlp`], [`Conv2d`] — the layer zoo.
@@ -51,13 +56,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec;
+mod infer;
 mod layers;
+pub mod ops;
 mod optim;
 pub mod parallel;
 mod store;
 mod tape;
 mod tensor;
 
+pub use exec::Exec;
+pub use infer::{InferCtx, Val};
 pub use layers::{Conv2d, Linear, Mlp};
 pub use optim::{Adam, Sgd};
 pub use store::{Grads, ParamId, ParamStore};

@@ -1,0 +1,589 @@
+//! Pure forward kernels shared by the autodiff tape and the tape-free
+//! inference engine.
+//!
+//! Every function here is a pure function of its inputs that writes into a
+//! caller-provided output tensor, resized in place so its allocation is
+//! reused. [`crate::Tape`] calls these to produce the forward value of
+//! every node it records; [`crate::InferCtx`] calls the *same* functions
+//! with recycled arena buffers. That single-implementation rule is what
+//! makes the two execution backends bit-identical by construction: each
+//! kernel has one accumulation order, fixed regardless of thread count
+//! (see the determinism notes on the individual functions).
+//!
+//! Ops that record auxiliary state for the backward pass ([`segment_max`],
+//! [`maxpool2d`]) always compute it — the tape keeps the argmax on the
+//! node, the inference engine hands in a scratch buffer it recycles — so
+//! the reduction loop itself stays identical between backends.
+
+use rayon::prelude::*;
+
+use crate::parallel;
+use crate::Tensor;
+
+/// Output-element count above which gather and segment ops fan out.
+const GATHER_PAR_ELEMS: usize = 1 << 14;
+
+/// Matrix product `a · b` (delegates to the blocked/parallel
+/// [`Tensor::matmul_into`] kernel).
+///
+/// # Panics
+///
+/// Panics if inner dimensions mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    a.matmul_into(b, out);
+}
+
+/// Elementwise sum (same shape).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn add(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    out.copy_from(a);
+    out.add_assign(b);
+}
+
+/// Adds a rank-1 row vector to every row of a matrix (bias add).
+///
+/// # Panics
+///
+/// Panics if `row.len() != a.cols()`.
+pub fn add_row(a: &Tensor, row: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.cols(), row.len(), "bias width mismatch");
+    out.copy_from(a);
+    let n = row.len();
+    for (i, x) in out.data_mut().iter_mut().enumerate() {
+        *x += row.data()[i % n];
+    }
+}
+
+/// Adds a per-channel bias `[C]` to a feature map `[C, H, W]`.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != C`.
+pub fn add_channel(x: &Tensor, bias: &Tensor, out: &mut Tensor) {
+    let (c, h, w) = rank3(x);
+    assert_eq!(bias.len(), c, "one bias per channel");
+    out.copy_from(x);
+    for ch in 0..c {
+        for p in &mut out.data_mut()[ch * h * w..(ch + 1) * h * w] {
+            *p += bias.data()[ch];
+        }
+    }
+}
+
+/// Elementwise difference (same shape).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn sub(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    out.copy_from(a);
+    for (x, y) in out.data_mut().iter_mut().zip(b.data()) {
+        *x -= y;
+    }
+}
+
+/// Elementwise (Hadamard) product — the paper's Equation 6 masking.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mul(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+    out.copy_from(a);
+    for (x, y) in out.data_mut().iter_mut().zip(b.data()) {
+        *x *= y;
+    }
+}
+
+/// Multiplies every row of a matrix by a rank-1 vector (broadcast
+/// Hadamard — each endpoint mask row times the shared layout map).
+///
+/// # Panics
+///
+/// Panics if `row.len() != a.cols()`.
+pub fn mul_row(a: &Tensor, row: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.cols(), row.len(), "row width mismatch");
+    out.copy_from(a);
+    let n = row.len();
+    for (i, x) in out.data_mut().iter_mut().enumerate() {
+        *x *= row.data()[i % n];
+    }
+}
+
+/// Scalar multiple.
+pub fn scale(a: &Tensor, s: f32, out: &mut Tensor) {
+    out.copy_from(a);
+    out.scale_assign(s);
+}
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor, out: &mut Tensor) {
+    out.copy_from(x);
+    for v in out.data_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: &Tensor, out: &mut Tensor) {
+    out.copy_from(x);
+    for v in out.data_mut() {
+        *v = v.tanh();
+    }
+}
+
+/// Reshaped copy with identical element count.
+///
+/// # Panics
+///
+/// Panics if volumes differ.
+pub fn reshape(x: &Tensor, shape: &[usize], out: &mut Tensor) {
+    out.copy_from(x);
+    out.reshape_in_place(shape);
+}
+
+/// Mean of all elements (scalar `[1]` output).
+pub fn mean(x: &Tensor, out: &mut Tensor) {
+    out.reset(&[1], x.sum() / x.len() as f32);
+}
+
+/// Selects rows `idx` from matrix `src`.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or `src` is not a matrix.
+pub fn gather_rows(src: &Tensor, idx: &[u32], out: &mut Tensor) {
+    let d = src.cols();
+    out.reset(&[idx.len().max(1), d], 0.0);
+    if parallel::should_parallelize(idx.len() * d, GATHER_PAR_ELEMS) {
+        out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
+            if i < idx.len() {
+                row.copy_from_slice(src.row(idx[i] as usize));
+            }
+        });
+    } else {
+        for (i, &r) in idx.iter().enumerate() {
+            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+        }
+    }
+}
+
+/// Selects rows from several source matrices: entry `(s, r)` takes row
+/// `r` of `sources[s]`. All sources must share a column count. This is
+/// the workhorse of levelized message passing — predecessors of a
+/// topological level live in many earlier level matrices.
+///
+/// # Panics
+///
+/// Panics on empty `sources`, mismatched columns, or bad indices.
+pub fn gather_multi(sources: &[&Tensor], index: &[(u32, u32)], out: &mut Tensor) {
+    assert!(!sources.is_empty(), "gather_multi needs sources");
+    let d = sources[0].cols();
+    for s in sources {
+        assert_eq!(s.cols(), d, "sources must share columns");
+    }
+    out.reset(&[index.len().max(1), d], 0.0);
+    if parallel::should_parallelize(index.len() * d, GATHER_PAR_ELEMS) {
+        out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
+            if i < index.len() {
+                let (s, r) = index[i];
+                row.copy_from_slice(sources[s as usize].row(r as usize));
+            }
+        });
+    } else {
+        for (i, &(s, r)) in index.iter().enumerate() {
+            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(sources[s as usize].row(r as usize));
+        }
+    }
+}
+
+/// Per-segment column-wise maximum: rows of `src` with equal `seg` value
+/// reduce into one output row (the paper's `max` aggregation for cell
+/// nodes). Empty segments produce zero rows. `argmax` records the winning
+/// source row per output element (`-1` for empty segments) for the
+/// backward pass; it is always computed so the reduction loop is the same
+/// on every backend.
+///
+/// # Panics
+///
+/// Panics if `seg.len() != src.rows()` or a segment id `>= num_segments`.
+pub fn segment_max(
+    src: &Tensor,
+    seg: &[u32],
+    num_segments: usize,
+    out: &mut Tensor,
+    argmax: &mut Vec<i64>,
+) {
+    assert_eq!(seg.len(), src.rows(), "one segment id per row");
+    let d = src.cols();
+    out.reset(&[num_segments.max(1), d], f32::NEG_INFINITY);
+    argmax.clear();
+    argmax.resize(num_segments.max(1) * d, -1i64);
+    if let Some(runs) = sorted_segment_runs(seg, num_segments) {
+        if parallel::should_parallelize(seg.len() * d, GATHER_PAR_ELEMS) {
+            // Each segment owns one output row; rows within a run are
+            // scanned in ascending order, exactly as the serial loop
+            // visits them, so results (and argmax tie-breaks) match.
+            let reduced: Vec<(Vec<f32>, Vec<i64>)> = runs
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut best = vec![f32::NEG_INFINITY; d];
+                    let mut arg = vec![-1i64; d];
+                    for r in lo..hi {
+                        for (c, (bv, av)) in best.iter_mut().zip(&mut arg).enumerate() {
+                            let v = src.at(r, c);
+                            if v > *bv {
+                                *bv = v;
+                                *av = r as i64;
+                            }
+                        }
+                    }
+                    (best, arg)
+                })
+                .collect();
+            for (s, (best, arg)) in reduced.into_iter().enumerate() {
+                out.data_mut()[s * d..(s + 1) * d].copy_from_slice(&best);
+                argmax[s * d..(s + 1) * d].copy_from_slice(&arg);
+            }
+        } else {
+            for (s, &(lo, hi)) in runs.iter().enumerate() {
+                for r in lo..hi {
+                    for c in 0..d {
+                        let v = src.at(r, c);
+                        if v > out.at(s, c) {
+                            out.data_mut()[s * d + c] = v;
+                            argmax[s * d + c] = r as i64;
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        for (r, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < num_segments, "segment id out of range");
+            for c in 0..d {
+                let v = src.at(r, c);
+                if v > out.at(s, c) {
+                    out.data_mut()[s * d + c] = v;
+                    argmax[s * d + c] = r as i64;
+                }
+            }
+        }
+    }
+    for (o, a) in out.data_mut().iter_mut().zip(argmax.iter()) {
+        if *a < 0 {
+            *o = 0.0; // empty segment
+        }
+    }
+}
+
+/// Per-segment column-wise sum (used with `scale_rows` for the
+/// mean-aggregation ablation).
+///
+/// # Panics
+///
+/// Panics if `seg.len() != src.rows()` or a segment id `>= num_segments`.
+pub fn segment_sum(src: &Tensor, seg: &[u32], num_segments: usize, out: &mut Tensor) {
+    assert_eq!(seg.len(), src.rows(), "one segment id per row");
+    let d = src.cols();
+    out.reset(&[num_segments.max(1), d], 0.0);
+    if let Some(runs) = sorted_segment_runs(seg, num_segments) {
+        if parallel::should_parallelize(seg.len() * d, GATHER_PAR_ELEMS) {
+            // Rows within a run accumulate in ascending order — the
+            // same order the serial scan uses — so sums are
+            // bit-identical across thread counts.
+            let reduced: Vec<Vec<f32>> = runs
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut acc = vec![0.0f32; d];
+                    for r in lo..hi {
+                        for (a, v) in acc.iter_mut().zip(src.row(r)) {
+                            *a += v;
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            for (s, acc) in reduced.into_iter().enumerate() {
+                out.data_mut()[s * d..(s + 1) * d].copy_from_slice(&acc);
+            }
+        } else {
+            for (s, &(lo, hi)) in runs.iter().enumerate() {
+                for r in lo..hi {
+                    for c in 0..d {
+                        out.data_mut()[s * d + c] += src.at(r, c);
+                    }
+                }
+            }
+        }
+    } else {
+        for (r, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < num_segments, "segment id out of range");
+            for c in 0..d {
+                out.data_mut()[s * d + c] += src.at(r, c);
+            }
+        }
+    }
+}
+
+/// Multiplies each row of `src` by a constant factor.
+///
+/// # Panics
+///
+/// Panics if `factors.len() != src.rows()`.
+pub fn scale_rows(src: &Tensor, factors: &[f32], out: &mut Tensor) {
+    assert_eq!(factors.len(), src.rows());
+    let d = src.cols();
+    out.copy_from(src);
+    for (r, &f) in factors.iter().enumerate() {
+        for v in &mut out.data_mut()[r * d..(r + 1) * d] {
+            *v *= f;
+        }
+    }
+}
+
+/// Stacks `a` above `b` (matrices with equal column counts).
+///
+/// # Panics
+///
+/// Panics on column mismatch.
+pub fn concat_rows(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.cols(), b.cols(), "concat_rows column mismatch");
+    let na = a.len();
+    out.reset(&[a.rows() + b.rows(), a.cols()], 0.0);
+    out.data_mut()[..na].copy_from_slice(a.data());
+    out.data_mut()[na..].copy_from_slice(b.data());
+}
+
+/// Concatenates `a` and `b` side by side (matrices with equal rows) —
+/// the paper's multimodal fusion `[v_n ; v_l]`.
+///
+/// # Panics
+///
+/// Panics on row mismatch.
+pub fn concat_cols(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.rows(), b.rows(), "concat_cols row mismatch");
+    let (m, p, q) = (a.rows(), a.cols(), b.cols());
+    out.reset(&[m, p + q], 0.0);
+    for r in 0..m {
+        out.data_mut()[r * (p + q)..r * (p + q) + p].copy_from_slice(a.row(r));
+        out.data_mut()[r * (p + q) + p..(r + 1) * (p + q)].copy_from_slice(b.row(r));
+    }
+}
+
+/// 2-D convolution, stride 1: `x` is `[C_in, H, W]`, `w` is
+/// `[C_out, C_in, kh, kw]`, output `[C_out, H', W']` with
+/// `H' = H + 2·pad - kh + 1`. `col` is the im2col scratch matrix, handed
+/// in so the inference arena can recycle it across calls.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch or if the kernel exceeds the padded
+/// input.
+pub fn conv2d(x: &Tensor, w: &Tensor, pad: usize, col: &mut Tensor, out: &mut Tensor) {
+    let (cin, h, wd) = rank3(x);
+    let ws = w.shape();
+    assert_eq!(ws.len(), 4, "weight must be [Cout,Cin,kh,kw]");
+    let (cout, wcin, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+    assert_eq!(cin, wcin, "channel mismatch");
+    let oh = h + 2 * pad + 1 - kh;
+    let ow = wd + 2 * pad + 1 - kw;
+    static CONV2D_CALLS: rtt_obs::Counter = rtt_obs::Counter::new("nn::conv2d_calls");
+    static CONV2D_FLOPS: rtt_obs::Counter = rtt_obs::Counter::new("nn::conv2d_flops");
+    CONV2D_CALLS.add(1);
+    CONV2D_FLOPS.add(2 * (cout * cin * kh * kw * oh * ow) as u64);
+    // im2col: the convolution becomes one dense [cout, cin·kh·kw] ×
+    // [cin·kh·kw, oh·ow] product, which reuses the blocked/parallel matmul.
+    // Products accumulate in the same (ci, ky, kx) order as a direct loop
+    // (padding taps contribute exact zeros), so values match the naive
+    // kernel.
+    im2col(x, kh, kw, pad, oh, ow, col);
+    let w2d = Tensor::from_vec(&[cout, cin * kh * kw], w.data().to_vec());
+    w2d.matmul_into(col, out);
+    out.reshape_in_place(&[cout, oh, ow]);
+}
+
+/// Max pooling with a square window and equal stride over `[C, H, W]`.
+/// `argmax` records the winning input index per output element for the
+/// backward pass; it is always computed so the loop is backend-invariant.
+///
+/// # Panics
+///
+/// Panics if `size` does not divide H and W.
+pub fn maxpool2d(x: &Tensor, size: usize, out: &mut Tensor, argmax: &mut Vec<u32>) {
+    let (c, h, w) = rank3(x);
+    assert!(size > 0 && h % size == 0 && w % size == 0, "pool must tile the map");
+    let (oh, ow) = (h / size, w / size);
+    out.reset(&[c, oh, ow], f32::NEG_INFINITY);
+    argmax.clear();
+    argmax.resize(c * oh * ow, 0u32);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let oi = ch * oh * ow + oy * ow + ox;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        let (iy, ix) = (oy * size + dy, ox * size + dx);
+                        let ii = ch * h * w + iy * w + ix;
+                        let v = x.data()[ii];
+                        if v > out.data()[oi] {
+                            out.data_mut()[oi] = v;
+                            argmax[oi] = ii as u32;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Asserts rank 3 and returns `(C, H, W)`.
+pub(crate) fn rank3(t: &Tensor) -> (usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 3, "expected [C,H,W], got {s:?}");
+    (s[0], s[1], s[2])
+}
+
+/// If `seg` is non-decreasing, returns each segment's half-open row run
+/// `[lo, hi)` (empty segments yield `lo == hi`); `None` when unsorted.
+///
+/// # Panics
+///
+/// Panics if a segment id is `>= num_segments`.
+fn sorted_segment_runs(seg: &[u32], num_segments: usize) -> Option<Vec<(usize, usize)>> {
+    if seg.windows(2).any(|w| w[0] > w[1]) {
+        return None;
+    }
+    if let Some(&last) = seg.last() {
+        assert!((last as usize) < num_segments, "segment id out of range");
+    }
+    let mut runs = vec![(0usize, 0usize); num_segments.max(1)];
+    let mut r = 0;
+    for (s, run) in runs.iter_mut().enumerate() {
+        let lo = r;
+        while r < seg.len() && seg[r] as usize == s {
+            r += 1;
+        }
+        *run = (lo, r);
+    }
+    Some(runs)
+}
+
+/// Unfolds a padded `[C_in, H, W]` map into the im2col matrix
+/// `[C_in·kh·kw, oh·ow]`: column `oy·ow + ox` holds the receptive field of
+/// output pixel `(oy, ox)`. Out-of-bounds (padding) taps stay zero.
+pub(crate) fn im2col(
+    x: &Tensor,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    col: &mut Tensor,
+) {
+    let (cin, h, wd) = rank3(x);
+    col.reset(&[cin * kh * kw, oh * ow], 0.0);
+    col.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(row, crow)| {
+        let ci = row / (kh * kw);
+        let ky = (row / kw) % kh;
+        let kx = row % kw;
+        for oy in 0..oh {
+            let iy = (oy + ky) as isize - pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            // Valid ox range: 0 <= ox + kx - pad < wd.
+            let lo = pad.saturating_sub(kx);
+            let hi = (wd + pad - kx).min(ow);
+            if lo >= hi {
+                continue;
+            }
+            let ix0 = lo + kx - pad;
+            let src = &x.data()[ci * h * wd + iy as usize * wd + ix0..];
+            crow[oy * ow + lo..oy * ow + hi].copy_from_slice(&src[..hi - lo]);
+        }
+    });
+}
+
+/// Folds the im2col gradient `[C_in·kh·kw, oh·ow]` back onto the input map
+/// (the adjoint of [`im2col`]): overlapping receptive fields accumulate.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn col2im(
+    gcol: &Tensor,
+    cin: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    gx: &mut Tensor,
+) {
+    let (oh, ow) = (h + 2 * pad + 1 - kh, wd + 2 * pad + 1 - kw);
+    for row in 0..cin * kh * kw {
+        let ci = row / (kh * kw);
+        let ky = (row / kw) % kh;
+        let kx = row % kw;
+        let crow = &gcol.data()[row * oh * ow..(row + 1) * oh * ow];
+        for oy in 0..oh {
+            let iy = (oy + ky) as isize - pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            let lo = pad.saturating_sub(kx);
+            let hi = (wd + pad - kx).min(ow);
+            if lo >= hi {
+                continue;
+            }
+            let ix0 = lo + kx - pad;
+            let dst = &mut gx.data_mut()[ci * h * wd + iy as usize * wd + ix0..][..hi - lo];
+            for (d, g) in dst.iter_mut().zip(&crow[oy * ow + lo..oy * ow + hi]) {
+                *d += g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_buffers_are_recycled_without_changing_results() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Tensor::default();
+        matmul(&a, &b, &mut out);
+        assert_eq!(out.data(), &[19.0, 22.0, 43.0, 50.0]);
+        // Re-run with a dirty, differently-shaped buffer: same result.
+        let mut dirty = Tensor::full(&[7, 3], 9.0);
+        matmul(&a, &b, &mut dirty);
+        assert_eq!(dirty.data(), &[19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(dirty.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn segment_max_recomputes_scratch() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 0.0]]);
+        let mut out = Tensor::default();
+        let mut arg = vec![42i64; 1]; // dirty scratch from a previous call
+        segment_max(&x, &[0, 1, 0], 2, &mut out, &mut arg);
+        assert_eq!(out.data(), &[5.0, 2.0, 3.0, 4.0]);
+        assert_eq!(arg, vec![2, 0, 1, 1]);
+    }
+
+    #[test]
+    fn maxpool_with_dirty_scratch() {
+        let x = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 9.0, 2.0]);
+        let mut out = Tensor::default();
+        let mut arg = vec![7u32; 99];
+        maxpool2d(&x, 2, &mut out, &mut arg);
+        assert_eq!(out.data(), &[5.0, 9.0]);
+        assert_eq!(arg, vec![1, 6]);
+    }
+}

@@ -2,14 +2,11 @@
 
 use std::cell::{Cell, RefCell};
 
-use rayon::prelude::*;
-
-use crate::parallel;
+use crate::exec::Exec;
+use crate::ops;
+use crate::ops::{col2im, im2col, rank3};
 use crate::store::{Grads, ParamId, ParamStore};
 use crate::Tensor;
-
-/// Output-element count above which gather and segment ops fan out.
-const GATHER_PAR_ELEMS: usize = 1 << 14;
 
 /// A node handle on a [`Tape`].
 ///
@@ -115,22 +112,8 @@ impl Tape {
     ///
     /// Panics if an index is out of range or `x` is not a matrix.
     pub fn gather_rows<'t>(&'t self, x: Var<'t>, idx: &[u32]) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let src = &nodes[x.id].value;
-        let d = src.cols();
-        let mut out = Tensor::zeros(&[idx.len().max(1), d]);
-        if parallel::should_parallelize(idx.len() * d, GATHER_PAR_ELEMS) {
-            out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
-                if i < idx.len() {
-                    row.copy_from_slice(src.row(idx[i] as usize));
-                }
-            });
-        } else {
-            for (i, &r) in idx.iter().enumerate() {
-                out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
-            }
-        }
-        drop(nodes);
+        let mut out = Tensor::default();
+        ops::gather_rows(&self.nodes.borrow()[x.id].value, idx, &mut out);
         self.push(out, Op::GatherRows(x.id, idx.to_vec()))
     }
 
@@ -143,28 +126,12 @@ impl Tape {
     ///
     /// Panics on empty `sources`, mismatched columns, or bad indices.
     pub fn gather_multi<'t>(&'t self, sources: &[Var<'t>], index: &[(u32, u32)]) -> Var<'t> {
-        assert!(!sources.is_empty(), "gather_multi needs sources");
-        let nodes = self.nodes.borrow();
-        let d = nodes[sources[0].id].value.cols();
-        for s in sources {
-            assert_eq!(nodes[s.id].value.cols(), d, "sources must share columns");
-        }
-        let mut out = Tensor::zeros(&[index.len().max(1), d]);
-        if parallel::should_parallelize(index.len() * d, GATHER_PAR_ELEMS) {
+        let mut out = Tensor::default();
+        {
+            let nodes = self.nodes.borrow();
             let srcs: Vec<&Tensor> = sources.iter().map(|s| &nodes[s.id].value).collect();
-            out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
-                if i < index.len() {
-                    let (s, r) = index[i];
-                    row.copy_from_slice(srcs[s as usize].row(r as usize));
-                }
-            });
-        } else {
-            for (i, &(s, r)) in index.iter().enumerate() {
-                let src = &nodes[sources[s as usize].id].value;
-                out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
-            }
+            ops::gather_multi(&srcs, index, &mut out);
         }
-        drop(nodes);
         self.push(
             out,
             Op::GatherMulti { srcs: sources.iter().map(|s| s.id).collect(), index: index.to_vec() },
@@ -179,70 +146,15 @@ impl Tape {
     ///
     /// Panics if `seg.len() != x.rows()` or a segment id `>= num_segments`.
     pub fn segment_max<'t>(&'t self, x: Var<'t>, seg: &[u32], num_segments: usize) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let src = &nodes[x.id].value;
-        assert_eq!(seg.len(), src.rows(), "one segment id per row");
-        let d = src.cols();
-        let mut out = Tensor::full(&[num_segments.max(1), d], f32::NEG_INFINITY);
-        let mut argmax = vec![-1i64; num_segments.max(1) * d];
-        if let Some(runs) = sorted_segment_runs(seg, num_segments) {
-            if parallel::should_parallelize(seg.len() * d, GATHER_PAR_ELEMS) {
-                // Each segment owns one output row; rows within a run are
-                // scanned in ascending order, exactly as the serial loop
-                // visits them, so results (and argmax tie-breaks) match.
-                let reduced: Vec<(Vec<f32>, Vec<i64>)> = runs
-                    .par_iter()
-                    .map(|&(lo, hi)| {
-                        let mut best = vec![f32::NEG_INFINITY; d];
-                        let mut arg = vec![-1i64; d];
-                        for r in lo..hi {
-                            for (c, (bv, av)) in best.iter_mut().zip(&mut arg).enumerate() {
-                                let v = src.at(r, c);
-                                if v > *bv {
-                                    *bv = v;
-                                    *av = r as i64;
-                                }
-                            }
-                        }
-                        (best, arg)
-                    })
-                    .collect();
-                for (s, (best, arg)) in reduced.into_iter().enumerate() {
-                    out.data_mut()[s * d..(s + 1) * d].copy_from_slice(&best);
-                    argmax[s * d..(s + 1) * d].copy_from_slice(&arg);
-                }
-            } else {
-                for (s, &(lo, hi)) in runs.iter().enumerate() {
-                    for r in lo..hi {
-                        for c in 0..d {
-                            let v = src.at(r, c);
-                            if v > out.at(s, c) {
-                                out.data_mut()[s * d + c] = v;
-                                argmax[s * d + c] = r as i64;
-                            }
-                        }
-                    }
-                }
-            }
-        } else {
-            for (r, &s) in seg.iter().enumerate() {
-                let s = s as usize;
-                assert!(s < num_segments, "segment id out of range");
-                for c in 0..d {
-                    let v = src.at(r, c);
-                    if v > out.at(s, c) {
-                        out.data_mut()[s * d + c] = v;
-                        argmax[s * d + c] = r as i64;
-                    }
-                }
-            }
-        }
-        for (o, a) in out.data_mut().iter_mut().zip(&argmax) {
-            if *a < 0 {
-                *o = 0.0; // empty segment
-            }
-        }
-        drop(nodes);
+        let mut out = Tensor::default();
+        let mut argmax = Vec::new();
+        ops::segment_max(
+            &self.nodes.borrow()[x.id].value,
+            seg,
+            num_segments,
+            &mut out,
+            &mut argmax,
+        );
         self.push(out, Op::SegmentMax { x: x.id, argmax })
     }
 
@@ -253,50 +165,8 @@ impl Tape {
     ///
     /// Panics if `seg.len() != x.rows()` or a segment id `>= num_segments`.
     pub fn segment_sum<'t>(&'t self, x: Var<'t>, seg: &[u32], num_segments: usize) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let src = &nodes[x.id].value;
-        assert_eq!(seg.len(), src.rows(), "one segment id per row");
-        let d = src.cols();
-        let mut out = Tensor::zeros(&[num_segments.max(1), d]);
-        if let Some(runs) = sorted_segment_runs(seg, num_segments) {
-            if parallel::should_parallelize(seg.len() * d, GATHER_PAR_ELEMS) {
-                // Rows within a run accumulate in ascending order — the
-                // same order the serial scan uses — so sums are
-                // bit-identical across thread counts.
-                let reduced: Vec<Vec<f32>> = runs
-                    .par_iter()
-                    .map(|&(lo, hi)| {
-                        let mut acc = vec![0.0f32; d];
-                        for r in lo..hi {
-                            for (a, v) in acc.iter_mut().zip(src.row(r)) {
-                                *a += v;
-                            }
-                        }
-                        acc
-                    })
-                    .collect();
-                for (s, acc) in reduced.into_iter().enumerate() {
-                    out.data_mut()[s * d..(s + 1) * d].copy_from_slice(&acc);
-                }
-            } else {
-                for (s, &(lo, hi)) in runs.iter().enumerate() {
-                    for r in lo..hi {
-                        for c in 0..d {
-                            out.data_mut()[s * d + c] += src.at(r, c);
-                        }
-                    }
-                }
-            }
-        } else {
-            for (r, &s) in seg.iter().enumerate() {
-                let s = s as usize;
-                assert!(s < num_segments, "segment id out of range");
-                for c in 0..d {
-                    out.data_mut()[s * d + c] += src.at(r, c);
-                }
-            }
-        }
-        drop(nodes);
+        let mut out = Tensor::default();
+        ops::segment_sum(&self.nodes.borrow()[x.id].value, seg, num_segments, &mut out);
         self.push(out, Op::SegmentSum { x: x.id, seg: seg.to_vec() })
     }
 
@@ -307,17 +177,8 @@ impl Tape {
     ///
     /// Panics if `factors.len() != x.rows()`.
     pub fn scale_rows<'t>(&'t self, x: Var<'t>, factors: &[f32]) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let src = &nodes[x.id].value;
-        assert_eq!(factors.len(), src.rows());
-        let d = src.cols();
-        let mut out = src.clone();
-        for (r, &f) in factors.iter().enumerate() {
-            for v in &mut out.data_mut()[r * d..(r + 1) * d] {
-                *v *= f;
-            }
-        }
-        drop(nodes);
+        let mut out = Tensor::default();
+        ops::scale_rows(&self.nodes.borrow()[x.id].value, factors, &mut out);
         self.push(out, Op::ScaleRows(x.id, factors.to_vec()))
     }
 
@@ -327,13 +188,11 @@ impl Tape {
     ///
     /// Panics on column mismatch.
     pub fn concat_rows<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let (ta, tb) = (&nodes[a.id].value, &nodes[b.id].value);
-        assert_eq!(ta.cols(), tb.cols(), "concat_rows column mismatch");
-        let mut data = ta.data().to_vec();
-        data.extend_from_slice(tb.data());
-        let out = Tensor::from_vec(&[ta.rows() + tb.rows(), ta.cols()], data);
-        drop(nodes);
+        let mut out = Tensor::default();
+        {
+            let nodes = self.nodes.borrow();
+            ops::concat_rows(&nodes[a.id].value, &nodes[b.id].value, &mut out);
+        }
         self.push(out, Op::ConcatRows(a.id, b.id))
     }
 
@@ -344,16 +203,11 @@ impl Tape {
     ///
     /// Panics on row mismatch.
     pub fn concat_cols<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let (ta, tb) = (&nodes[a.id].value, &nodes[b.id].value);
-        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
-        let (m, p, q) = (ta.rows(), ta.cols(), tb.cols());
-        let mut out = Tensor::zeros(&[m, p + q]);
-        for r in 0..m {
-            out.data_mut()[r * (p + q)..r * (p + q) + p].copy_from_slice(ta.row(r));
-            out.data_mut()[r * (p + q) + p..(r + 1) * (p + q)].copy_from_slice(tb.row(r));
+        let mut out = Tensor::default();
+        {
+            let nodes = self.nodes.borrow();
+            ops::concat_cols(&nodes[a.id].value, &nodes[b.id].value, &mut out);
         }
-        drop(nodes);
         self.push(out, Op::ConcatCols(a.id, b.id))
     }
 
@@ -366,10 +220,12 @@ impl Tape {
     /// Panics on rank/shape mismatch or if the kernel exceeds the padded
     /// input.
     pub fn conv2d<'t>(&'t self, x: Var<'t>, w: Var<'t>, pad: usize) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let (tx, tw) = (&nodes[x.id].value, &nodes[w.id].value);
-        let out = conv2d_forward(tx, tw, pad);
-        drop(nodes);
+        let mut out = Tensor::default();
+        let mut col = Tensor::default();
+        {
+            let nodes = self.nodes.borrow();
+            ops::conv2d(&nodes[x.id].value, &nodes[w.id].value, pad, &mut col, &mut out);
+        }
         self.push(out, Op::Conv2d { x: x.id, w: w.id, pad })
     }
 
@@ -379,32 +235,9 @@ impl Tape {
     ///
     /// Panics if `size` does not divide H and W.
     pub fn maxpool2d<'t>(&'t self, x: Var<'t>, size: usize) -> Var<'t> {
-        let nodes = self.nodes.borrow();
-        let t = &nodes[x.id].value;
-        let (c, h, w) = rank3(t);
-        assert!(size > 0 && h % size == 0 && w % size == 0, "pool must tile the map");
-        let (oh, ow) = (h / size, w / size);
-        let mut out = Tensor::full(&[c, oh, ow], f32::NEG_INFINITY);
-        let mut argmax = vec![0u32; c * oh * ow];
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let oi = ch * oh * ow + oy * ow + ox;
-                    for dy in 0..size {
-                        for dx in 0..size {
-                            let (iy, ix) = (oy * size + dy, ox * size + dx);
-                            let ii = ch * h * w + iy * w + ix;
-                            let v = t.data()[ii];
-                            if v > out.data()[oi] {
-                                out.data_mut()[oi] = v;
-                                argmax[oi] = ii as u32;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        drop(nodes);
+        let mut out = Tensor::default();
+        let mut argmax = Vec::new();
+        ops::maxpool2d(&self.nodes.borrow()[x.id].value, size, &mut out, &mut argmax);
         self.push(out, Op::MaxPool2d { x: x.id, argmax })
     }
 
@@ -446,127 +279,6 @@ impl Drop for Tape {
         // for their arena here.
         self.flush_bytes();
     }
-}
-
-fn rank3(t: &Tensor) -> (usize, usize, usize) {
-    let s = t.shape();
-    assert_eq!(s.len(), 3, "expected [C,H,W], got {s:?}");
-    (s[0], s[1], s[2])
-}
-
-/// If `seg` is non-decreasing, returns each segment's half-open row run
-/// `[lo, hi)` (empty segments yield `lo == hi`); `None` when unsorted.
-///
-/// # Panics
-///
-/// Panics if a segment id is `>= num_segments`.
-fn sorted_segment_runs(seg: &[u32], num_segments: usize) -> Option<Vec<(usize, usize)>> {
-    if seg.windows(2).any(|w| w[0] > w[1]) {
-        return None;
-    }
-    if let Some(&last) = seg.last() {
-        assert!((last as usize) < num_segments, "segment id out of range");
-    }
-    let mut runs = vec![(0usize, 0usize); num_segments.max(1)];
-    let mut r = 0;
-    for (s, run) in runs.iter_mut().enumerate() {
-        let lo = r;
-        while r < seg.len() && seg[r] as usize == s {
-            r += 1;
-        }
-        *run = (lo, r);
-    }
-    Some(runs)
-}
-
-/// Unfolds a padded `[C_in, H, W]` map into the im2col matrix
-/// `[C_in·kh·kw, oh·ow]`: column `oy·ow + ox` holds the receptive field of
-/// output pixel `(oy, ox)`. Out-of-bounds (padding) taps stay zero.
-fn im2col(x: &Tensor, kh: usize, kw: usize, pad: usize, oh: usize, ow: usize) -> Tensor {
-    let (cin, h, wd) = rank3(x);
-    let mut col = Tensor::zeros(&[cin * kh * kw, oh * ow]);
-    col.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(row, crow)| {
-        let ci = row / (kh * kw);
-        let ky = (row / kw) % kh;
-        let kx = row % kw;
-        for oy in 0..oh {
-            let iy = (oy + ky) as isize - pad as isize;
-            if iy < 0 || iy >= h as isize {
-                continue;
-            }
-            // Valid ox range: 0 <= ox + kx - pad < wd.
-            let lo = pad.saturating_sub(kx);
-            let hi = (wd + pad - kx).min(ow);
-            if lo >= hi {
-                continue;
-            }
-            let ix0 = lo + kx - pad;
-            let src = &x.data()[ci * h * wd + iy as usize * wd + ix0..];
-            crow[oy * ow + lo..oy * ow + hi].copy_from_slice(&src[..hi - lo]);
-        }
-    });
-    col
-}
-
-/// Folds the im2col gradient `[C_in·kh·kw, oh·ow]` back onto the input map
-/// (the adjoint of [`im2col`]): overlapping receptive fields accumulate.
-#[allow(clippy::too_many_arguments)]
-fn col2im(
-    gcol: &Tensor,
-    cin: usize,
-    h: usize,
-    wd: usize,
-    kh: usize,
-    kw: usize,
-    pad: usize,
-    gx: &mut Tensor,
-) {
-    let (oh, ow) = (h + 2 * pad + 1 - kh, wd + 2 * pad + 1 - kw);
-    for row in 0..cin * kh * kw {
-        let ci = row / (kh * kw);
-        let ky = (row / kw) % kh;
-        let kx = row % kw;
-        let crow = &gcol.data()[row * oh * ow..(row + 1) * oh * ow];
-        for oy in 0..oh {
-            let iy = (oy + ky) as isize - pad as isize;
-            if iy < 0 || iy >= h as isize {
-                continue;
-            }
-            let lo = pad.saturating_sub(kx);
-            let hi = (wd + pad - kx).min(ow);
-            if lo >= hi {
-                continue;
-            }
-            let ix0 = lo + kx - pad;
-            let dst = &mut gx.data_mut()[ci * h * wd + iy as usize * wd + ix0..][..hi - lo];
-            for (d, g) in dst.iter_mut().zip(&crow[oy * ow + lo..oy * ow + hi]) {
-                *d += g;
-            }
-        }
-    }
-}
-
-fn conv2d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
-    let (cin, h, wd) = rank3(x);
-    let ws = w.shape();
-    assert_eq!(ws.len(), 4, "weight must be [Cout,Cin,kh,kw]");
-    let (cout, wcin, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
-    assert_eq!(cin, wcin, "channel mismatch");
-    let oh = h + 2 * pad + 1 - kh;
-    let ow = wd + 2 * pad + 1 - kw;
-    static CONV2D_CALLS: rtt_obs::Counter = rtt_obs::Counter::new("nn::conv2d_calls");
-    static CONV2D_FLOPS: rtt_obs::Counter = rtt_obs::Counter::new("nn::conv2d_flops");
-    CONV2D_CALLS.add(1);
-    CONV2D_FLOPS.add(2 * (cout * cin * kh * kw * oh * ow) as u64);
-    // im2col: the convolution becomes one dense [cout, cin·kh·kw] ×
-    // [cin·kh·kw, oh·ow] product, which reuses the blocked/parallel matmul.
-    // Products accumulate in the same (ci, ky, kx) order as a direct loop
-    // (padding taps contribute exact zeros), so values match the naive
-    // kernel.
-    let col = im2col(x, kh, kw, pad, oh, ow);
-    let w2d = Tensor::from_vec(&[cout, cin * kh * kw], w.data().to_vec());
-    let out2d = w2d.matmul(&col);
-    Tensor::from_vec(&[cout, oh, ow], out2d.data().to_vec())
 }
 
 fn accumulate(slot: &mut Option<Tensor>, shape: &[usize], add: impl FnOnce(&mut Tensor)) {
@@ -775,7 +487,8 @@ fn backward_node(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Option<Tens
             // im2col matrix is recomputed rather than kept alive on the
             // tape (memory over speed — one col per graph node would
             // dominate the tape's footprint).
-            let col = im2col(&tx, kh, kw, pad, oh, ow);
+            let mut col = Tensor::default();
+            im2col(&tx, kh, kw, pad, oh, ow, &mut col);
             let g2d = Tensor::from_vec(&[cout, oh * ow], g.data().to_vec());
             let w2d = Tensor::from_vec(&[cout, cin * kh * kw], tw.data().to_vec());
             let gw2d = g2d.matmul(&col.transposed());
@@ -821,12 +534,26 @@ impl<'t> Var<'t> {
         self.id
     }
 
-    fn unary(self, value: Tensor, op: Op) -> Var<'t> {
-        self.tape.push(value, op)
+    /// Records a node whose value is `f(self, out)` over this var's tensor.
+    fn unary(self, op: Op, f: impl FnOnce(&Tensor, &mut Tensor)) -> Var<'t> {
+        let mut out = Tensor::default();
+        f(&self.tape.nodes.borrow()[self.id].value, &mut out);
+        self.tape.push(out, op)
     }
 
-    fn val(self) -> Tensor {
-        self.tape.nodes.borrow()[self.id].value.clone()
+    /// Records a node whose value is `f(self, other, out)`.
+    fn binary(
+        self,
+        other: Var<'t>,
+        op: Op,
+        f: impl FnOnce(&Tensor, &Tensor, &mut Tensor),
+    ) -> Var<'t> {
+        let mut out = Tensor::default();
+        {
+            let nodes = self.tape.nodes.borrow();
+            f(&nodes[self.id].value, &nodes[other.id].value, &mut out);
+        }
+        self.tape.push(out, op)
     }
 
     /// Matrix product.
@@ -835,8 +562,7 @@ impl<'t> Var<'t> {
     ///
     /// Panics on dimension mismatch.
     pub fn matmul(self, other: Var<'t>) -> Var<'t> {
-        let v = self.val().matmul(&other.val());
-        self.unary(v, Op::MatMul(self.id, other.id))
+        self.binary(other, Op::MatMul(self.id, other.id), ops::matmul)
     }
 
     /// Elementwise sum (same shape).
@@ -846,9 +572,7 @@ impl<'t> Var<'t> {
     /// Panics on shape mismatch.
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Var<'t>) -> Var<'t> {
-        let mut v = self.val();
-        v.add_assign(&other.val());
-        self.unary(v, Op::Add(self.id, other.id))
+        self.binary(other, Op::Add(self.id, other.id), ops::add)
     }
 
     /// Adds a rank-1 row vector to every row of a matrix (bias add).
@@ -857,15 +581,7 @@ impl<'t> Var<'t> {
     ///
     /// Panics if `row.len() != self.cols()`.
     pub fn add_row(self, row: Var<'t>) -> Var<'t> {
-        let a = self.val();
-        let r = row.val();
-        assert_eq!(a.cols(), r.len(), "bias width mismatch");
-        let mut v = a.clone();
-        let n = r.len();
-        for (i, x) in v.data_mut().iter_mut().enumerate() {
-            *x += r.data()[i % n];
-        }
-        self.unary(v, Op::AddRow(self.id, row.id))
+        self.binary(row, Op::AddRow(self.id, row.id), ops::add_row)
     }
 
     /// Adds a per-channel bias `[C]` to a feature map `[C, H, W]`.
@@ -874,17 +590,7 @@ impl<'t> Var<'t> {
     ///
     /// Panics if `bias.len() != C`.
     pub fn add_channel(self, bias: Var<'t>) -> Var<'t> {
-        let x = self.val();
-        let b = bias.val();
-        let (c, h, w) = rank3(&x);
-        assert_eq!(b.len(), c, "one bias per channel");
-        let mut v = x.clone();
-        for ch in 0..c {
-            for p in &mut v.data_mut()[ch * h * w..(ch + 1) * h * w] {
-                *p += b.data()[ch];
-            }
-        }
-        self.unary(v, Op::AddChannel(self.id, bias.id))
+        self.binary(bias, Op::AddChannel(self.id, bias.id), ops::add_channel)
     }
 
     /// Elementwise difference (same shape).
@@ -894,14 +600,7 @@ impl<'t> Var<'t> {
     /// Panics on shape mismatch.
     #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Var<'t>) -> Var<'t> {
-        let a = self.val();
-        let b = other.val();
-        assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
-        let mut v = a;
-        for (x, y) in v.data_mut().iter_mut().zip(b.data()) {
-            *x -= y;
-        }
-        self.unary(v, Op::Sub(self.id, other.id))
+        self.binary(other, Op::Sub(self.id, other.id), ops::sub)
     }
 
     /// Elementwise (Hadamard) product — the paper's Equation 6 masking.
@@ -911,14 +610,7 @@ impl<'t> Var<'t> {
     /// Panics on shape mismatch.
     #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Var<'t>) -> Var<'t> {
-        let a = self.val();
-        let b = other.val();
-        assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
-        let mut v = a;
-        for (x, y) in v.data_mut().iter_mut().zip(b.data()) {
-            *x *= y;
-        }
-        self.unary(v, Op::Mul(self.id, other.id))
+        self.binary(other, Op::Mul(self.id, other.id), ops::mul)
     }
 
     /// Multiplies every row of a matrix by a rank-1 vector (broadcast
@@ -928,40 +620,22 @@ impl<'t> Var<'t> {
     ///
     /// Panics if `row.len() != self.cols()`.
     pub fn mul_row(self, row: Var<'t>) -> Var<'t> {
-        let a = self.val();
-        let r = row.val();
-        assert_eq!(a.cols(), r.len(), "row width mismatch");
-        let mut v = a.clone();
-        let n = r.len();
-        for (i, x) in v.data_mut().iter_mut().enumerate() {
-            *x *= r.data()[i % n];
-        }
-        self.unary(v, Op::MulRow(self.id, row.id))
+        self.binary(row, Op::MulRow(self.id, row.id), ops::mul_row)
     }
 
     /// Scalar multiple.
     pub fn scale(self, s: f32) -> Var<'t> {
-        let mut v = self.val();
-        v.scale_assign(s);
-        self.unary(v, Op::Scale(self.id, s))
+        self.unary(Op::Scale(self.id, s), |x, out| ops::scale(x, s, out))
     }
 
     /// Rectified linear unit.
     pub fn relu(self) -> Var<'t> {
-        let mut v = self.val();
-        for x in v.data_mut() {
-            *x = x.max(0.0);
-        }
-        self.unary(v, Op::Relu(self.id))
+        self.unary(Op::Relu(self.id), ops::relu)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(self) -> Var<'t> {
-        let mut v = self.val();
-        for x in v.data_mut() {
-            *x = x.tanh();
-        }
-        self.unary(v, Op::Tanh(self.id))
+        self.unary(Op::Tanh(self.id), ops::tanh)
     }
 
     /// Reshaped view (copy) with identical element count.
@@ -970,15 +644,119 @@ impl<'t> Var<'t> {
     ///
     /// Panics if volumes differ.
     pub fn reshape(self, shape: &[usize]) -> Var<'t> {
-        let v = self.val().reshaped(shape);
-        self.unary(v, Op::Reshape(self.id))
+        self.unary(Op::Reshape(self.id), |x, out| ops::reshape(x, shape, out))
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean(self) -> Var<'t> {
-        let t = self.val();
-        let m = t.sum() / t.len() as f32;
-        self.unary(Tensor::from_vec(&[1], vec![m]), Op::Mean(self.id))
+        self.unary(Op::Mean(self.id), ops::mean)
+    }
+}
+
+/// The tape is the training backend of the [`Exec`] abstraction: every op
+/// records a node so [`Tape::backward`] can differentiate through it.
+/// All methods delegate to the inherent `Tape`/[`Var`] API.
+impl<'t> Exec for &'t Tape {
+    type Value = Var<'t>;
+
+    fn constant(self, t: Tensor) -> Var<'t> {
+        Tape::constant(self, t)
+    }
+
+    fn param(self, store: &ParamStore, id: ParamId) -> Var<'t> {
+        Tape::param(self, store, id)
+    }
+
+    fn value(self, v: Var<'t>) -> Tensor {
+        Tape::value(self, v)
+    }
+
+    fn len(self, v: Var<'t>) -> usize {
+        self.nodes.borrow()[v.id].value.len()
+    }
+
+    fn matmul(self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        a.matmul(b)
+    }
+
+    fn add(self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        a.add(b)
+    }
+
+    fn add_row(self, a: Var<'t>, row: Var<'t>) -> Var<'t> {
+        a.add_row(row)
+    }
+
+    fn add_channel(self, x: Var<'t>, bias: Var<'t>) -> Var<'t> {
+        x.add_channel(bias)
+    }
+
+    fn sub(self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        a.sub(b)
+    }
+
+    fn mul(self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        a.mul(b)
+    }
+
+    fn mul_row(self, a: Var<'t>, row: Var<'t>) -> Var<'t> {
+        a.mul_row(row)
+    }
+
+    fn scale(self, x: Var<'t>, s: f32) -> Var<'t> {
+        x.scale(s)
+    }
+
+    fn relu(self, x: Var<'t>) -> Var<'t> {
+        x.relu()
+    }
+
+    fn tanh(self, x: Var<'t>) -> Var<'t> {
+        x.tanh()
+    }
+
+    fn reshape(self, x: Var<'t>, shape: &[usize]) -> Var<'t> {
+        x.reshape(shape)
+    }
+
+    fn mean(self, x: Var<'t>) -> Var<'t> {
+        x.mean()
+    }
+
+    fn gather_rows(self, x: Var<'t>, idx: &[u32]) -> Var<'t> {
+        Tape::gather_rows(self, x, idx)
+    }
+
+    fn gather_multi(self, sources: &[Var<'t>], index: &[(u32, u32)]) -> Var<'t> {
+        Tape::gather_multi(self, sources, index)
+    }
+
+    fn segment_max(self, x: Var<'t>, seg: &[u32], num_segments: usize) -> Var<'t> {
+        Tape::segment_max(self, x, seg, num_segments)
+    }
+
+    fn segment_sum(self, x: Var<'t>, seg: &[u32], num_segments: usize) -> Var<'t> {
+        Tape::segment_sum(self, x, seg, num_segments)
+    }
+
+    fn scale_rows(self, x: Var<'t>, factors: &[f32]) -> Var<'t> {
+        Tape::scale_rows(self, x, factors)
+    }
+
+    fn concat_rows(self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        Tape::concat_rows(self, a, b)
+    }
+
+    fn concat_cols(self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        Tape::concat_cols(self, a, b)
+    }
+
+    fn conv2d(self, x: Var<'t>, w: Var<'t>, pad: usize) -> Var<'t> {
+        Tape::conv2d(self, x, w, pad)
+    }
+
+    fn maxpool2d(self, x: Var<'t>, size: usize) -> Var<'t> {
+        Tape::maxpool2d(self, x, size)
     }
 }
 

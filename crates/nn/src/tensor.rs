@@ -191,6 +191,52 @@ impl Tensor {
         Self::from_vec(shape, self.data.clone())
     }
 
+    /// Reshapes in place (same number of elements, no data movement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "shape {shape:?} does not hold {} elements",
+            self.data.len()
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Reshapes in place to `shape` and fills every element with `v`,
+    /// reusing the existing allocation when capacity allows. Equivalent to
+    /// replacing `self` with [`Tensor::full`] but without reallocating —
+    /// the primitive behind the inference arena's buffer recycling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn reset(&mut self, shape: &[usize], v: f32) {
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.resize(self.shape.iter().product(), v);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the existing
+    /// allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Number of elements the backing allocation can hold without growing.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Matrix product `self · other` for rank-2 tensors.
     ///
     /// Uses a cache-blocked kernel, splitting output rows across threads
@@ -203,6 +249,19 @@ impl Tensor {
     /// Panics if inner dimensions mismatch.
     #[must_use]
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided output tensor,
+    /// which is resized in place (reusing its allocation) — the hot path
+    /// of the tape-free inference engine. Bit-identical to `matmul`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");
@@ -210,7 +269,7 @@ impl Tensor {
         static MATMUL_FLOPS: rtt_obs::Counter = rtt_obs::Counter::new("nn::matmul_flops");
         MATMUL_CALLS.add(1);
         MATMUL_FLOPS.add(2 * (m * k * n) as u64);
-        let mut out = Tensor::zeros(&[m, n]);
+        out.reset(&[m, n], 0.0);
         if m > 1 && parallel::should_parallelize(2 * m * k * n, MM_PAR_FLOPS) {
             let band = m.div_ceil(parallel::num_threads()).max(1);
             out.data.par_chunks_mut(band * n).enumerate().for_each(|(ci, chunk)| {
@@ -221,7 +280,6 @@ impl Tensor {
         } else {
             matmul_rows(&self.data, &other.data, &mut out.data, k, n);
         }
-        out
     }
 
     /// Matrix product specialized for a left operand known to be mostly

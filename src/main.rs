@@ -302,11 +302,18 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
         &cfg,
         vec![0.0; graph.endpoints().len()],
     );
+    let t0 = std::time::Instant::now();
     let pred = model.predict(&prep);
+    let secs = t0.elapsed().as_secs_f64();
     println!("endpoint\tpredicted_arrival_ps");
     for (&v, p) in graph.endpoints().iter().zip(&pred) {
         println!("{}\t{p:.2}", netlist.pin(graph.pin_of(v)).name);
     }
+    eprintln!(
+        "predicted {} endpoints in {secs:.3} s ({:.0} endpoints/s, tape-free)",
+        pred.len(),
+        pred.len() as f64 / secs.max(1e-9)
+    );
     Ok(())
 }
 

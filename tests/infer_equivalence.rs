@@ -1,0 +1,195 @@
+//! Bit-equality of the tape-free inference backend against the tape path.
+//!
+//! `TimingModel::predict` (and the baselines' predict paths) run on
+//! [`rtt_nn::InferCtx`]; the tape-backed reference implementations are kept
+//! as `predict_taped` / `predict_endpoints_taped`. Both backends execute
+//! the same `rtt_nn::ops` kernels in the same order, so their outputs must
+//! agree to the bit — for every model variant, at tiny and small model
+//! scales, and for any thread count.
+//!
+//! Thread settings are process-global, so everything runs inside a single
+//! `#[test]` that switches `RTT_THREADS`-equivalent state serially.
+
+use std::collections::HashMap;
+
+use restructure_timing::baselines::{
+    BaselineInputs, GuoConfig, GuoModel, TwoStageKind, TwoStageModel,
+};
+use restructure_timing::flow::{Dataset, DesignData, FlowConfig};
+use restructure_timing::netlist::PinId;
+use restructure_timing::nn::parallel;
+use restructure_timing::prelude::*;
+
+fn assert_bits_eq(what: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{what}: prediction counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: prediction {i} differs: {x:?} (0x{:08x}) vs {y:?} (0x{:08x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+}
+
+/// Owned label bundle backing a [`BaselineInputs`] view.
+struct Labels {
+    nets: HashMap<(PinId, PinId), f32>,
+    cells: HashMap<(PinId, PinId), f32>,
+    arrivals: HashMap<PinId, f32>,
+    endpoints: Vec<f32>,
+}
+
+impl Labels {
+    fn of(d: &DesignData) -> Self {
+        Self {
+            nets: d.surviving_net_delays(),
+            cells: d.surviving_cell_delays(),
+            arrivals: d.surviving_arrivals(),
+            endpoints: d.endpoint_targets(),
+        }
+    }
+
+    fn inputs<'a>(&'a self, d: &'a DesignData, lib: &'a CellLibrary) -> BaselineInputs<'a> {
+        d.baseline_inputs(lib, &self.nets, &self.cells, &self.arrivals, &self.endpoints)
+    }
+}
+
+#[test]
+fn tape_free_predict_is_bit_identical_to_taped() {
+    let cfg = FlowConfig { scale: Scale::Tiny, ..FlowConfig::default() };
+    let ds = Dataset::generate_subset(&cfg, 1, 1);
+    let lib = &ds.library;
+    let d_train = ds.train_designs()[0];
+    let d_test = ds.test_designs()[0];
+    let train_labels = Labels::of(d_train);
+    let test_labels = Labels::of(d_test);
+
+    // Baselines, trained briefly so weights (and normalizations) are
+    // nontrivial.
+    let train_inputs = train_labels.inputs(d_train, lib);
+    let mut dac19 = TwoStageModel::new(TwoStageKind::Dac19, 1);
+    dac19.train(&[&train_inputs], 20, 2e-3);
+    let mut he = TwoStageModel::new(TwoStageKind::Dac22He, 2);
+    he.train(&[&train_inputs], 20, 2e-3);
+    let mut guo = GuoModel::new(GuoConfig::default());
+    guo.train(&[&train_inputs], 2, 2e-3);
+
+    // Our model: every variant at the tiny scale, plus the full model at
+    // the small scale (different widths, grid, and pooling extents).
+    let variants = [
+        ("tiny/full", ModelConfig::tiny()),
+        ("tiny/gnn-only", ModelConfig::tiny().with_variant(ModelVariant::GnnOnly)),
+        ("tiny/cnn-only", ModelConfig::tiny().with_variant(ModelVariant::CnnOnly)),
+        ("small/full", ModelConfig::small()),
+    ];
+    let models: Vec<(&str, TimingModel, PreparedDesign)> = variants
+        .into_iter()
+        .map(|(name, mc)| {
+            let train_prep = d_train.prepared(lib, &mc);
+            let mut model = TimingModel::new(mc.clone());
+            model.train(
+                std::slice::from_ref(&train_prep),
+                &TrainConfig { epochs: 2, ..TrainConfig::default() },
+            );
+            let test_prep = d_test.prepared(lib, &mc);
+            (name, model, test_prep)
+        })
+        .collect();
+
+    // Kernels are bit-identical across thread counts, so predictions from
+    // different RTT_THREADS settings must also agree bit-for-bit.
+    let mut across_threads: Vec<Vec<Vec<f32>>> = Vec::new();
+    for threads in [1usize, 4] {
+        parallel::set_num_threads(threads);
+        let mut this_round = Vec::new();
+        for (name, model, prep) in &models {
+            let infer = model.predict(prep);
+            let taped = model.predict_taped(prep);
+            assert_bits_eq(&format!("{name} @ {threads} threads"), &infer, &taped);
+            this_round.push(infer);
+        }
+        let test_inputs = test_labels.inputs(d_test, lib);
+        for (name, infer, taped) in [
+            (
+                "DAC19",
+                dac19.predict_endpoints(&test_inputs),
+                dac19.predict_endpoints_taped(&test_inputs),
+            ),
+            (
+                "DAC22-he",
+                he.predict_endpoints(&test_inputs),
+                he.predict_endpoints_taped(&test_inputs),
+            ),
+            ("guo", guo.predict_endpoints(&test_inputs), guo.predict_endpoints_taped(&test_inputs)),
+        ] {
+            assert_bits_eq(&format!("{name} @ {threads} threads"), &infer, &taped);
+            this_round.push(infer);
+        }
+        across_threads.push(this_round);
+    }
+    parallel::set_num_threads(1);
+    for (i, (a, b)) in across_threads[0].iter().zip(&across_threads[1]).enumerate() {
+        assert_bits_eq(&format!("model/baseline {i} across thread counts"), a, b);
+    }
+}
+
+/// Nightly inference micro-benchmark: the tape-free backend must allocate
+/// strictly less than the tape path appends, and should be faster.
+///
+/// Timing is reported but not asserted (CI machines are noisy); the
+/// allocation comparison is exact and asserted. Run with:
+///
+/// ```text
+/// cargo test --release --test infer_equivalence -- --ignored
+/// ```
+#[test]
+#[ignore = "nightly micro-bench; run explicitly with -- --ignored"]
+fn inference_microbench_arena_beats_tape() {
+    use restructure_timing::obs;
+
+    let cfg = FlowConfig { scale: Scale::Tiny, ..FlowConfig::default() };
+    let ds = Dataset::generate_subset(&cfg, 1, 1);
+    let mc = ModelConfig::small();
+    let prep = ds.test_designs()[0].prepared(&ds.library, &mc);
+    let model = TimingModel::new(mc);
+    let iters = 5;
+
+    // A serving loop holds one context so the arena persists across
+    // passes; warm up both paths before measuring.
+    let ctx = restructure_timing::nn::InferCtx::new();
+    let _ = model.predict_with(&ctx, &prep);
+    let _ = model.predict_taped(&prep);
+
+    obs::reset();
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let _ = model.predict_taped(&prep);
+    }
+    let taped_s = t0.elapsed().as_secs_f64();
+    let tape_bytes = obs::snapshot().counters.get("nn::tape_bytes").copied().unwrap_or(0);
+
+    obs::reset();
+    let t1 = std::time::Instant::now();
+    for _ in 0..iters {
+        let _ = model.predict_with(&ctx, &prep);
+    }
+    let infer_s = t1.elapsed().as_secs_f64();
+    let arena_bytes = obs::snapshot().counters.get("nn::infer_arena_bytes").copied().unwrap_or(0);
+
+    let eps = prep.num_endpoints() as f64 * iters as f64;
+    eprintln!(
+        "inference micro-bench: taped {taped_s:.3}s ({:.0} ep/s, {tape_bytes} tape bytes) vs \
+         tape-free {infer_s:.3}s ({:.0} ep/s, {arena_bytes} bytes allocated, \
+         {} bytes resident), speedup {:.2}x",
+        eps / taped_s.max(1e-9),
+        eps / infer_s.max(1e-9),
+        ctx.arena_bytes(),
+        taped_s / infer_s.max(1e-9),
+    );
+    assert!(tape_bytes > 0, "taped reference did not record nn::tape_bytes");
+    assert!(
+        arena_bytes < tape_bytes,
+        "arena allocated {arena_bytes} bytes, tape appended {tape_bytes}"
+    );
+}

@@ -20,7 +20,16 @@ fn trained_model_roundtrips_through_bytes() {
     let blob = model.save_weights();
     let mut restored = TimingModel::new(mc);
     restored.load_weights(&blob).expect("same architecture");
-    assert_eq!(restored.predict(&test_prep), expect);
+    let restored_pred = restored.predict(&test_prep);
+    let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(bits(&restored_pred), bits(&expect), "reload must preserve predictions exactly");
+    // The round-trip holds on both execution backends: the tape-backed
+    // reference path must agree with the tape-free predictions to the bit.
+    assert_eq!(
+        bits(&restored.predict_taped(&test_prep)),
+        bits(&expect),
+        "taped reference diverged from tape-free predict after reload"
+    );
 }
 
 #[test]

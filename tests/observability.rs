@@ -66,6 +66,8 @@ fn trace_structure_is_bit_identical_across_thread_counts() {
         "\"core::train::design_pass/core::forward\"",
         "\"core::train::design_pass/nn::backward\"",
         "\"core::train/nn::optimizer_step\"",
+        "\"core::predict/nn::infer\"",
+        "nn::infer_arena_bytes",
         "nn::matmul_flops",
         "core::train::epoch_loss",
     ] {
