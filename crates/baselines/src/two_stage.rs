@@ -214,11 +214,19 @@ impl TwoStageModel {
 
     /// Predicts the stage delay of every net edge of a design (tape-free
     /// backend).
+    ///
+    /// Runs the regressor straight over the feature matrix with the
+    /// buffer-reusing MLP kernels (no constant copy, no per-layer
+    /// allocation). Bit-identical to [`Self::predict_stages_taped`]
+    /// (asserted by the equivalence suite).
     pub fn predict_stages(&self, inputs: &BaselineInputs<'_>) -> HashMap<(PinId, PinId), f32> {
         let sf = extract_features(inputs, self.kind);
         let ctx = InferCtx::new();
-        let vals = self.stage_values(&ctx, sf.feats);
-        self.decode_stages(sf.edges, &vals)
+        ctx.with_scratch(3, |bufs, _, _| {
+            let [t0, t1, out] = bufs else { unreachable!("scratch pool sized to 3 above") };
+            self.mlp.forward_into(&self.store, &sf.feats, t0, t1, out);
+            self.decode_stages(sf.edges, out)
+        })
     }
 
     /// Reference implementation of [`Self::predict_stages`] on the tape

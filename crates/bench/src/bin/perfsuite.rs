@@ -3,7 +3,7 @@
 //! Times the four workloads the parallel execution layer targets — dataset
 //! generation, GNN forward, CNN forward, and one training epoch — once with
 //! one thread and once with all available cores, then writes the results to
-//! `BENCH_PR5.json` in the current directory (and prints them). Every
+//! `BENCH_PR6.json` in the current directory (and prints them). Every
 //! workload is bit-identical across thread counts, so this suite measures
 //! speed only.
 //!
@@ -16,6 +16,11 @@
 //! (`TimingModel::predict_with` on a persistent `InferCtx` arena) against
 //! the tape-backed reference (`predict_taped`): endpoints/sec for both,
 //! the speedup, and bytes allocated per pass by each backend.
+//!
+//! A `batched_inference` section sweeps `TimingModel::predict_batch` over
+//! batch sizes on the flat CSR kernel path: endpoints/sec at each batch
+//! size, plus pins/sec through the shared GNN pass (every call propagates
+//! the whole graph once, so small batches pay the full pass per call).
 
 #![allow(clippy::print_stdout)] // reports/tables go to stdout by design
 
@@ -171,6 +176,32 @@ fn main() {
         "tape-free steady state allocated {arena_growth} B/pass, tape appended {tape_bytes} B/pass"
     );
 
+    // Batched inference: endpoints/sec vs batch size through the flat CSR
+    // kernel path, single-threaded (the per-core serving figure). Each
+    // `predict_batch` call runs one full GNN+CNN pass, so pins/sec counts
+    // one whole-graph propagation per call.
+    parallel::set_num_threads(1);
+    let pins = gnn_design.schedule.num_nodes();
+    let all: Vec<u32> = (0..n_ep as u32).collect();
+    let _ = gnn_model.predict_batch(&ctx, &gnn_design, &all); // warm batch scratch
+    let mut batch_rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    println!("\nbatched inference ({n_ep} endpoints, {pins} pins, 1 thread):");
+    for &bs in &[1usize, 16, 64, n_ep] {
+        let s = time_median(infer_reps, || {
+            for chunk in all.chunks(bs) {
+                std::hint::black_box(gnn_model.predict_batch(&ctx, &gnn_design, chunk));
+            }
+        });
+        let passes = all.chunks(bs).len() as f64;
+        let ep_per_s = n_ep as f64 / s.max(1e-12);
+        let pins_per_s = passes * pins as f64 / s.max(1e-12);
+        println!(
+            "  batch {bs:>5}  {s:>9.4}s for all endpoints  {ep_per_s:>10.0} ep/s  \
+             {pins_per_s:>12.0} pins/s"
+        );
+        batch_rows.push((bs, s, ep_per_s, pins_per_s));
+    }
+
     // Per-stage breakdown: reset the span registry so it reflects exactly
     // one instrumented end-to-end pass (generation → place → route → STA →
     // features → one training epoch), then dump the tree.
@@ -209,6 +240,18 @@ fn main() {
         n_ep as f64 / taped_s.max(1e-12),
         n_ep as f64 / infer_s.max(1e-12),
     ));
+    json.push_str(&format!(
+        "  \"batched_inference\": {{\"endpoints\": {n_ep}, \"pins\": {pins}, \"threads\": 1, \
+         \"rows\": [\n"
+    ));
+    for (i, (bs, s, ep_per_s, pins_per_s)) in batch_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch\": {bs}, \"total_s\": {s:.6}, \"endpoints_per_s\": {ep_per_s:.1}, \
+             \"pins_per_s\": {pins_per_s:.1}}}{}\n",
+            if i + 1 < batch_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
     json.push_str("  \"stages\": {\n");
     let n_spans = snap.spans.len();
     for (i, (path, s)) in snap.spans.iter().enumerate() {
@@ -220,6 +263,6 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write("BENCH_PR5.json", json).expect("write BENCH_PR5.json");
-    eprintln!("[written to BENCH_PR5.json]");
+    std::fs::write("BENCH_PR6.json", json).expect("write BENCH_PR6.json");
+    eprintln!("[written to BENCH_PR6.json]");
 }

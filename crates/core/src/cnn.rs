@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use rtt_nn::{Conv2d, Exec, ParamStore};
+use rtt_nn::{ops, Conv2d, Exec, ParamStore, Tensor};
 
 use crate::ModelConfig;
 
@@ -42,6 +42,40 @@ impl LayoutCnn {
         let fused = self.fuse.forward(ex, store, p2);
         let n = ex.len(fused);
         ex.reshape(fused, &[n])
+    }
+
+    /// Tape-free [`Self::forward`] directly over caller-provided buffers:
+    /// `maps` is consumed in place (no constant copy), activations
+    /// ping-pong through `a` / `b`, and the flattened global map lands in
+    /// `out`. `col` is the shared im2col scratch, `argmax` the recycled
+    /// maxpool bookkeeping. Bit-identical to [`Self::forward`] (same
+    /// kernels in the same order; in-place bias/ReLU produce the same
+    /// values as the copying Exec ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maps` is not `[3, G, G]` with `G` a multiple of 4.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_into(
+        &self,
+        store: &ParamStore,
+        maps: &Tensor,
+        a: &mut Tensor,
+        b: &mut Tensor,
+        out: &mut Tensor,
+        col: &mut Tensor,
+        argmax: &mut Vec<u32>,
+    ) {
+        rtt_obs::span!("core::cnn_forward");
+        self.conv1.forward_into(store, maps, col, a);
+        ops::relu_in_place(a);
+        ops::maxpool2d(a, 2, b, argmax);
+        self.conv2.forward_into(store, b, col, a);
+        ops::relu_in_place(a);
+        ops::maxpool2d(a, 2, b, argmax);
+        self.fuse.forward_into(store, b, col, out);
+        let n = out.len();
+        out.reshape_in_place(&[n]);
     }
 }
 

@@ -5,7 +5,7 @@ use rand::Rng;
 
 use rtt_features::{NodeFeatures, CELL_FEATURE_DIM, NET_FEATURE_DIM};
 use rtt_netlist::{EdgeKind, NodeKind, TimingGraph};
-use rtt_nn::{Exec, Mlp, ParamStore, Tensor};
+use rtt_nn::{ops, Exec, Mlp, ParamStore, Tensor};
 
 use crate::{Aggregation, ModelConfig};
 
@@ -23,6 +23,116 @@ pub struct GnnSchedule {
     levels: Vec<LevelPlan>,
     endpoint_locs: Vec<(u32, u32)>,
     node_loc: Vec<(u32, u32)>,
+    /// Flat, SIMD-friendly twin of `levels`, derived once at build time
+    /// and consumed by [`NetlistGnn::forward_flat`].
+    plan: GnnPlan,
+}
+
+/// The batched execution plan over one flat `[num_nodes, embed_dim]`
+/// embedding matrix: every per-level `(level, row)` pair of the
+/// [`LevelPlan`]s is pre-resolved to a single flat row index, segment ids
+/// become CSR run offsets, and the `[cells, nets, sources] → level order`
+/// permutation becomes per-group scatter destinations. All of it is
+/// index arithmetic done once per design, so the per-pass inner loops are
+/// straight-line gathers, contiguous reductions, and row memcpys.
+#[derive(Clone, Debug, Default)]
+struct GnnPlan {
+    levels: Vec<FlatLevel>,
+    /// Flat row of each endpoint, aligned with `TimingGraph::endpoints()`.
+    endpoint_rows: Vec<u32>,
+    /// Total rows of the flat matrix (= number of graph nodes).
+    total_rows: usize,
+    /// Rows of the concatenated static cell-feature matrix that belong to
+    /// cell groups; source-group rows follow (see
+    /// [`LevelFeats::cell_src_flat`]).
+    total_cell_rows: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct FlatLevel {
+    n_cells: usize,
+    n_nets: usize,
+    n_srcs: usize,
+    /// Flat source row of each gathered cell fanin message.
+    cell_gather: Vec<u32>,
+    /// CSR offsets into `cell_gather`: cell `i` reduces messages
+    /// `cell_seg_off[i]..cell_seg_off[i + 1]` (`len = n_cells + 1`).
+    cell_seg_off: Vec<u32>,
+    /// `1 / max(fanin, 1)` per cell (mean aggregation), precomputed with
+    /// the exact arithmetic of the per-pass Exec path.
+    cell_inv_fanin: Vec<f32>,
+    /// Flat source row of each net node's driver message.
+    net_gather: Vec<u32>,
+    /// Flat destination row of each cell / net / source group row.
+    cell_dst: Vec<u32>,
+    net_dst: Vec<u32>,
+    src_dst: Vec<u32>,
+    /// Row offsets of this level's groups inside the concatenated static
+    /// feature matrices of [`LevelFeats`].
+    cell_feat_off: usize,
+    net_feat_off: usize,
+    src_feat_off: usize,
+}
+
+impl GnnPlan {
+    fn build(levels: &[LevelPlan], endpoint_locs: &[(u32, u32)]) -> Self {
+        let mut level_off = Vec::with_capacity(levels.len() + 1);
+        let mut off = 0u32;
+        for p in levels {
+            level_off.push(off);
+            off += (p.cell_nodes.len() + p.net_nodes.len() + p.source_nodes.len()) as u32;
+        }
+        level_off.push(off);
+        let flat = |&(l, r): &(u32, u32)| level_off[l as usize] + r;
+        let total_cell_rows: usize = levels.iter().map(|p| p.cell_nodes.len()).sum();
+        let (mut cell_off, mut net_off) = (0usize, 0usize);
+        let mut src_off = total_cell_rows;
+        let mut flat_levels = Vec::with_capacity(levels.len());
+        for (l, p) in levels.iter().enumerate() {
+            let (nc, nn, ns) = (p.cell_nodes.len(), p.net_nodes.len(), p.source_nodes.len());
+            // `cell_seg` ascends by construction, so per-segment counts +
+            // prefix sum reproduce its runs exactly.
+            let mut cell_seg_off = vec![0u32; nc + 1];
+            for &s in &p.cell_seg {
+                cell_seg_off[s as usize + 1] += 1;
+            }
+            for i in 1..cell_seg_off.len() {
+                cell_seg_off[i] += cell_seg_off[i - 1];
+            }
+            // Scatter destinations: invert the concat permutation, so
+            // writing group rows straight to their level-order positions
+            // replaces the per-level concat + gather of the Exec path.
+            let base = level_off[l];
+            let mut inv = vec![0u32; p.perm.len()];
+            for (i, &c) in p.perm.iter().enumerate() {
+                inv[c as usize] = i as u32;
+            }
+            flat_levels.push(FlatLevel {
+                n_cells: nc,
+                n_nets: nn,
+                n_srcs: ns,
+                cell_gather: p.cell_gather.iter().map(flat).collect(),
+                cell_seg_off,
+                cell_inv_fanin: p.cell_fanin.iter().map(|&c| 1.0 / c.max(1.0)).collect(),
+                net_gather: p.net_gather.iter().map(flat).collect(),
+                cell_dst: (0..nc).map(|c| base + inv[c]).collect(),
+                net_dst: (nc..nc + nn).map(|c| base + inv[c]).collect(),
+                src_dst: (nc + nn..nc + nn + ns).map(|c| base + inv[c]).collect(),
+                cell_feat_off: cell_off,
+                net_feat_off: net_off,
+                src_feat_off: src_off,
+            });
+            cell_off += nc;
+            net_off += nn;
+            src_off += ns;
+        }
+        Self {
+            endpoint_rows: endpoint_locs.iter().map(flat).collect(),
+            total_rows: off as usize,
+            total_cell_rows,
+            levels: flat_levels,
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -93,8 +203,10 @@ impl GnnSchedule {
             levels.push(plan);
         }
 
-        let endpoint_locs = graph.endpoints().iter().map(|&v| node_loc[v as usize]).collect();
-        Self { levels, endpoint_locs, node_loc }
+        let endpoint_locs: Vec<(u32, u32)> =
+            graph.endpoints().iter().map(|&v| node_loc[v as usize]).collect();
+        let plan = GnnPlan::build(&levels, &endpoint_locs);
+        Self { levels, endpoint_locs, node_loc, plan }
     }
 
     /// Number of topological levels.
@@ -118,6 +230,18 @@ impl GnnSchedule {
     pub fn locs_of(&self, nodes: &[u32]) -> Vec<(u32, u32)> {
         nodes.iter().map(|&v| self.loc_of(v)).collect()
     }
+
+    /// Total graph nodes — the row count of the flat embedding matrix
+    /// that [`NetlistGnn::forward_flat`] fills (one row per pin).
+    pub fn num_nodes(&self) -> usize {
+        self.node_loc.len()
+    }
+
+    /// Row of each endpoint in the flat embedding matrix, aligned with
+    /// `TimingGraph::endpoints()` order.
+    pub fn flat_endpoint_rows(&self) -> &[u32] {
+        &self.plan.endpoint_rows
+    }
 }
 
 /// Per-level feature tensors consumed by the GNN forward pass, aligned
@@ -130,6 +254,14 @@ pub struct LevelFeats {
     pub net: Vec<Option<Tensor>>,
     /// Source-group features, `[n_src, CELL_FEATURE_DIM]` per level.
     pub source: Vec<Option<Tensor>>,
+    /// Every cell-group row (all levels, level order) followed by every
+    /// source-group row — both groups feed `f_c2`, so the flat inference
+    /// path runs them as a single matmul chain per pass instead of two
+    /// tiny ones per level. Row values duplicate `cell` / `source`.
+    pub cell_src_flat: Option<Tensor>,
+    /// Every net-group row (all levels, level order), the single `f_n`
+    /// input of the flat path.
+    pub net_flat: Option<Tensor>,
 }
 
 impl LevelFeats {
@@ -142,6 +274,22 @@ impl LevelFeats {
             out.net.push(group_matrix(&plan.net_nodes, NET_FEATURE_DIM, |v| features.net_row(v)));
             out.source
                 .push(group_matrix(&plan.source_nodes, CELL_FEATURE_DIM, |v| features.cell_row(v)));
+        }
+        let mut cs = Vec::new();
+        for t in out.cell.iter().flatten().chain(out.source.iter().flatten()) {
+            cs.extend_from_slice(t.data());
+        }
+        if !cs.is_empty() {
+            let rows = cs.len() / CELL_FEATURE_DIM;
+            out.cell_src_flat = Some(Tensor::from_vec(&[rows, CELL_FEATURE_DIM], cs));
+        }
+        let mut nf = Vec::new();
+        for t in out.net.iter().flatten() {
+            nf.extend_from_slice(t.data());
+        }
+        if !nf.is_empty() {
+            let rows = nf.len() / NET_FEATURE_DIM;
+            out.net_flat = Some(Tensor::from_vec(&[rows, NET_FEATURE_DIM], nf));
         }
         out
     }
@@ -287,6 +435,98 @@ impl NetlistGnn {
             level_vars.push(ex.gather_rows(concat, &plan.perm));
         }
         level_vars
+    }
+
+    /// Number of scratch tensors [`Self::forward_flat`] consumes.
+    pub const FLAT_SCRATCH: usize = 8;
+
+    /// Batched, tape-free levelized forward over the flat plan built by
+    /// [`GnnSchedule::build`]. Fills `bufs[0]` with the
+    /// `[num_nodes, embed_dim]` flat embedding matrix; read node
+    /// embeddings out of it via [`GnnSchedule::flat_endpoint_rows`].
+    ///
+    /// Bit-identical to [`Self::forward_levels`] by construction:
+    /// * the static `f_c2` / `f_n` products are hoisted out of the level
+    ///   loop, which is row-wise exact (matmul rows are independent and
+    ///   accumulate in ascending-`k` order; bias and ReLU are
+    ///   elementwise);
+    /// * CSR segment reductions scan the same rows in the same ascending
+    ///   order as the legacy `seg[]` kernels;
+    /// * in-place adds/activations produce the same values as the
+    ///   copy-then-transform Exec ops, in the same operation order;
+    /// * the per-level concat + permutation gather is replaced by direct
+    ///   scatters to the same destination rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bufs.len() != FLAT_SCRATCH` or `feats` does not match
+    /// `schedule`.
+    pub fn forward_flat(
+        &self,
+        store: &ParamStore,
+        schedule: &GnnSchedule,
+        feats: &LevelFeats,
+        aggregation: Aggregation,
+        bufs: &mut [Tensor],
+    ) {
+        rtt_obs::span!("core::gnn_forward");
+        let [flat, sc, sn, msgs, agg, ctxv, t0, t1] = bufs else {
+            unreachable!("forward_flat needs exactly {} scratch buffers", Self::FLAT_SCRATCH)
+        };
+        let plan = &schedule.plan;
+        let d = self.f_c1.out_dim();
+        if let Some(cs) = &feats.cell_src_flat {
+            self.f_c2.forward_into(store, cs, t0, t1, sc);
+            // Source rows always read out through ReLU; cell rows stay
+            // raw (they join the pre-activation sum with f_c1).
+            for v in &mut sc.data_mut()[plan.total_cell_rows * d..] {
+                *v = v.max(0.0);
+            }
+        }
+        if let Some(nf) = &feats.net_flat {
+            self.f_n.forward_into(store, nf, t0, t1, sn);
+            if self.residual {
+                // Residual nets add `relu(f_n(feat))` as the increment.
+                ops::relu_in_place(sn);
+            }
+        }
+        flat.reset_for_overwrite(&[plan.total_rows, d]);
+        for fl in &plan.levels {
+            if fl.n_cells > 0 {
+                ops::gather_rows_flat(flat, &fl.cell_gather, msgs);
+                match aggregation {
+                    Aggregation::Max => ops::segment_max_csr(msgs, &fl.cell_seg_off, agg),
+                    Aggregation::Mean => {
+                        ops::segment_sum_csr(msgs, &fl.cell_seg_off, agg);
+                        ops::scale_rows_in_place(agg, &fl.cell_inv_fanin);
+                    }
+                }
+                if self.residual {
+                    ops::tanh_to(agg, ctxv);
+                    self.f_c1.forward_into(store, ctxv, t0, t1, msgs);
+                    ops::add_rows_range(msgs, sc, fl.cell_feat_off);
+                    ops::relu_in_place(msgs);
+                    agg.add_assign(msgs);
+                    ops::scatter_rows(agg, 0, &fl.cell_dst, flat);
+                } else {
+                    self.f_c1.forward_into(store, agg, t0, t1, msgs);
+                    ops::add_rows_range(msgs, sc, fl.cell_feat_off);
+                    ops::relu_in_place(msgs);
+                    ops::scatter_rows(msgs, 0, &fl.cell_dst, flat);
+                }
+            }
+            if fl.n_nets > 0 {
+                ops::gather_rows_flat(flat, &fl.net_gather, msgs);
+                ops::add_rows_range(msgs, sn, fl.net_feat_off);
+                if !self.residual {
+                    ops::relu_in_place(msgs);
+                }
+                ops::scatter_rows(msgs, 0, &fl.net_dst, flat);
+            }
+            if fl.n_srcs > 0 {
+                ops::scatter_rows(sc, fl.src_feat_off, &fl.src_dst, flat);
+            }
+        }
     }
 }
 

@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use rtt_nn::{mse, Adam, Exec, Grads, InferCtx, Linear, Mlp, ParamStore, Tape, Tensor};
+use rtt_nn::{mse, ops, Adam, Exec, Grads, InferCtx, Linear, Mlp, ParamStore, Tape, Tensor};
 
 use crate::cnn::LayoutCnn;
 use crate::gnn::NetlistGnn;
@@ -264,28 +264,109 @@ impl TimingModel {
     /// many designs (or the same design repeatedly) through one context
     /// allocates on the first pass and reuses those buffers afterwards.
     pub fn predict_with(&self, ctx: &InferCtx, design: &PreparedDesign) -> Vec<f32> {
+        let all: Vec<u32> = (0..design.num_endpoints() as u32).collect();
+        self.predict_batch(ctx, design, &all)
+    }
+
+    /// Batched tape-free prediction for an arbitrary set of endpoint
+    /// `indices` (output order follows `indices`): the GNN flat pass and
+    /// the CNN global map run **once** and are shared by every endpoint
+    /// chunk, instead of being recomputed per chunk as the Exec backends
+    /// do. This is the serving-loop fast path — on the flat kernels of
+    /// [`rtt_nn::ops`], driven by the plan precomputed in
+    /// [`crate::gnn::GnnSchedule::build`].
+    ///
+    /// Outputs are bit-identical to [`Self::predict`] /
+    /// [`Self::predict_taped`] on the same indices; the equivalence suite
+    /// asserts it at several batch sizes and thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn predict_batch(
+        &self,
+        ctx: &InferCtx,
+        design: &PreparedDesign,
+        indices: &[u32],
+    ) -> Vec<f32> {
         let obs = rtt_obs::span("core::predict");
-        obs.add("endpoints", design.num_endpoints() as u64);
-        let n = design.num_endpoints();
-        let mut out = Vec::with_capacity(n);
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + Self::PREDICT_CHUNK).min(n);
-            let idx: Vec<u32> = (start as u32..end as u32).collect();
-            let chunk = rtt_obs::span("nn::infer");
-            ctx.reset();
-            let pred = self.forward(ctx, design, Some(&idx));
-            out.extend(
-                ctx.value(pred)
-                    .data()
-                    .iter()
-                    .map(|p| self.decode_target(p * self.target_std + self.target_mean)),
-            );
-            chunk.add("endpoints", idx.len() as u64);
-            drop(chunk);
-            start = end;
+        obs.add("endpoints", indices.len() as u64);
+        if indices.is_empty() {
+            return Vec::new();
         }
+        // Scratch layout: the GNN's buffers, then CNN ping-pong (2) +
+        // global map, endpoint rows, dense masks, layout embedding, fused
+        // features, regressor ping-pong (2), predictions.
+        const REST: usize = 10;
+        let mut out = Vec::with_capacity(indices.len());
+        ctx.with_scratch(NetlistGnn::FLAT_SCRATCH + REST, |bufs, argmax, col| {
+            let (gbufs, rest) = bufs.split_at_mut(NetlistGnn::FLAT_SCRATCH);
+            let [cnn_a, cnn_b, gmap, ep, masks, lemb, fused, r0, r1, pred] = rest else {
+                unreachable!("scratch layout mismatch")
+            };
+            if let Some(gnn) = &self.gnn {
+                gnn.forward_flat(
+                    &self.store,
+                    &design.schedule,
+                    &design.feats,
+                    self.config.aggregation,
+                    gbufs,
+                );
+            }
+            let flat = &gbufs[0];
+            if let Some((trunk, _)) = &self.cnn {
+                trunk.forward_into(&self.store, &design.maps, cnn_a, cnn_b, gmap, col, argmax);
+            }
+            let ep_rows = design.schedule.flat_endpoint_rows();
+            let mut rows: Vec<u32> = Vec::new();
+            for chunk in indices.chunks(Self::PREDICT_CHUNK) {
+                let span = rtt_obs::span("nn::infer");
+                span.add("endpoints", chunk.len() as u64);
+                if self.gnn.is_some() {
+                    rows.clear();
+                    rows.extend(chunk.iter().map(|&i| ep_rows[i as usize]));
+                    ops::gather_rows_flat(flat, &rows, ep);
+                    if self.config.residual {
+                        // Same rescale as the Exec path (values identical:
+                        // `scale` is a copy + in-place multiply).
+                        ep.scale_assign(crate::READOUT_SCALE);
+                    }
+                }
+                if let Some((_, fc)) = &self.cnn {
+                    if self.config.masking {
+                        design.dense_mask_rows_into(chunk, masks);
+                    } else {
+                        let cols = design.mask_grid * design.mask_grid;
+                        masks.reset(&[chunk.len().max(1), cols], 1.0);
+                    }
+                    ops::mul_row_in_place(masks, gmap.data());
+                    fc.forward_into(&self.store, masks, lemb);
+                }
+                let fused_ref: &Tensor = match (self.gnn.is_some(), self.cnn.is_some()) {
+                    (true, true) => {
+                        ops::concat_cols(ep, lemb, fused);
+                        fused
+                    }
+                    (true, false) => ep,
+                    (false, true) => lemb,
+                    (false, false) => unreachable!("at least one branch is active"),
+                };
+                self.regressor.forward_into(&self.store, fused_ref, r0, r1, pred);
+                out.extend(
+                    pred.data()
+                        .iter()
+                        .map(|p| self.decode_target(p * self.target_std + self.target_mean)),
+                );
+            }
+        });
         out
+    }
+
+    /// Multi-design serving entry point: scores every design (all
+    /// endpoints) through one shared context, so the arena and scratch
+    /// buffers warm up on the first design and are reused for the rest.
+    pub fn predict_many(&self, ctx: &InferCtx, designs: &[&PreparedDesign]) -> Vec<Vec<f32>> {
+        designs.iter().map(|d| self.predict_with(ctx, d)).collect()
     }
 
     /// Endpoints per forward pass in [`Self::predict`] /

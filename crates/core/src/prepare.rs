@@ -89,14 +89,26 @@ impl PreparedDesign {
     ///
     /// Panics if an index is out of range.
     pub fn dense_mask_rows(&self, indices: &[u32]) -> Tensor {
+        let mut out = Tensor::default();
+        self.dense_mask_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Self::dense_mask_rows`] into a caller-provided buffer, so the
+    /// batched inference path reuses one allocation across chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn dense_mask_rows_into(&self, indices: &[u32], out: &mut Tensor) {
         let cols = self.mask_grid * self.mask_grid;
-        let mut data = vec![0.0f32; indices.len().max(1) * cols];
+        out.reset(&[indices.len().max(1), cols], 0.0);
+        let data = out.data_mut();
         for (r, &ep) in indices.iter().enumerate() {
             for &bin in &self.masks[ep as usize] {
                 data[r * cols + bin as usize] = 1.0;
             }
         }
-        Tensor::from_vec(&[indices.len().max(1), cols], data)
     }
 }
 

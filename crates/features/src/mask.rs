@@ -14,7 +14,16 @@ use rtt_place::{Grid, Placement, Rect};
 /// Returns node ids ordered source → endpoint. Deterministic: the first
 /// qualifying fanin is taken.
 pub fn longest_path(graph: &TimingGraph, ep: u32) -> Vec<u32> {
-    let mut path = vec![ep];
+    let mut path = Vec::new();
+    longest_path_into(graph, ep, &mut path);
+    path
+}
+
+/// [`longest_path`] into a caller-provided buffer, so batched callers
+/// reuse one allocation across endpoints.
+pub fn longest_path_into(graph: &TimingGraph, ep: u32, path: &mut Vec<u32>) {
+    path.clear();
+    path.push(ep);
     let mut v = ep;
     while graph.level(v) > 0 {
         let want = graph.level(v) - 1;
@@ -27,7 +36,6 @@ pub fn longest_path(graph: &TimingGraph, ep: u32) -> Vec<u32> {
         v = pred;
     }
     path.reverse();
-    path
 }
 
 /// Builds the critical-region mask of one endpoint at `grid × grid`
@@ -67,12 +75,23 @@ fn mark_bins(mask: &mut Grid, r: Rect) {
     }
 }
 
+/// Endpoints per parallel task in [`endpoint_masks`]: large enough to
+/// amortize task overhead and keep the reused path buffer warm, small
+/// enough that a task's output rows stay cache-resident while written.
+const MASK_CHUNK: usize = 64;
+
 /// Computes the masks of every endpoint as rows of a `[num_endpoints,
 /// grid²]` row-major buffer (the batched form the model consumes).
 ///
 /// Masks are independent per endpoint, exactly as the paper notes the
 /// path-finding can run in parallel — each endpoint's row is a disjoint
 /// chunk of the output buffer, so the fan-out is trivially deterministic.
+/// Endpoints are processed in cache-sized chunks of [`MASK_CHUNK`]; each
+/// task reuses one path buffer and writes bins straight into its
+/// (pre-zeroed) output rows instead of building a per-endpoint [`Grid`].
+/// Bit-identical to stacking [`endpoint_mask`] rows: the shared geometry
+/// grid carries the same die rectangle and bin pitch, so `bin_of` lands
+/// every rectangle corner in the same bins.
 pub fn endpoint_masks(
     netlist: &Netlist,
     placement: &Placement,
@@ -82,11 +101,30 @@ pub fn endpoint_masks(
     let obs = rtt_obs::span("features::endpoint_masks");
     let eps = graph.endpoints();
     obs.add("endpoints", eps.len() as u64);
-    let mut out = vec![0.0f32; eps.len() * grid * grid];
-    out.par_chunks_mut(grid * grid).enumerate().for_each(|(i, row)| {
-        let path = longest_path(graph, eps[i]);
-        let mask = endpoint_mask(netlist, placement, graph, &path, grid);
-        row.copy_from_slice(mask.values());
+    let gg = grid * grid;
+    let mut out = vec![0.0f32; eps.len() * gg];
+    // Geometry only: read by `bin_of`, never written.
+    let geom = Grid::new(grid, grid, placement.floorplan().die);
+    out.par_chunks_mut(MASK_CHUNK * gg).enumerate().for_each(|(c, rows)| {
+        let mut path = Vec::new();
+        for (j, row) in rows.chunks_mut(gg).enumerate() {
+            longest_path_into(graph, eps[c * MASK_CHUNK + j], &mut path);
+            for pair in path.windows(2) {
+                let (u, v) = (pair[0], pair[1]);
+                let is_net = graph.fanin(v).any(|e| e.from == u && e.kind == EdgeKind::Net);
+                if !is_net {
+                    continue;
+                }
+                let a = placement.pin_position(netlist, graph.pin_of(u));
+                let b = placement.pin_position(netlist, graph.pin_of(v));
+                let r = Rect::bounding(a, b);
+                let (x0, y0) = geom.bin_of(r.x0, r.y0);
+                let (x1, y1) = geom.bin_of(r.x1, r.y1);
+                for y in y0..=y1 {
+                    row[y * grid + x0..=y * grid + x1].fill(1.0);
+                }
+            }
+        }
     });
     out
 }

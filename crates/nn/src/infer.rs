@@ -48,6 +48,10 @@ pub struct InferCtx {
     argmax_i64: RefCell<Vec<i64>>,
     argmax_u32: RefCell<Vec<u32>>,
     col: RefCell<Tensor>,
+    /// Named-buffer pool for the batched flat inference path (see
+    /// [`InferCtx::with_scratch`]); kept warm across passes like the
+    /// slots.
+    scratch: RefCell<Vec<Tensor>>,
 }
 
 impl InferCtx {
@@ -78,8 +82,46 @@ impl InferCtx {
         let bytes = slots.iter().map(Tensor::capacity).sum::<usize>() * 4
             + self.argmax_i64.borrow().capacity() * 8
             + self.argmax_u32.borrow().capacity() * 4
-            + self.col.borrow().capacity() * 4;
+            + self.col.borrow().capacity() * 4
+            + self.scratch.borrow().iter().map(Tensor::capacity).sum::<usize>() * 4;
         bytes as u64
+    }
+
+    /// Runs a batched flat-kernel pass over `n` recycled scratch tensors
+    /// plus the shared u32 index scratch (maxpool argmax) and the conv2d
+    /// im2col matrix. Allocation growth of all handed-out buffers is
+    /// tallied on `nn::infer_arena_bytes`, so in the steady state a
+    /// batched pass allocates nothing, exactly like the [`Exec`] slots.
+    ///
+    /// The buffers are taken out of the context for the duration of `f`;
+    /// nesting `with_scratch` inside `f` hands out a fresh (empty) pool,
+    /// so callers should take everything they need in one call.
+    pub fn with_scratch<R>(
+        &self,
+        n: usize,
+        f: impl FnOnce(&mut [Tensor], &mut Vec<u32>, &mut Tensor) -> R,
+    ) -> R {
+        let mut pool = {
+            let mut p = self.scratch.borrow_mut();
+            if p.len() < n {
+                p.resize_with(n, Tensor::default);
+            }
+            mem::take(&mut *p)
+        };
+        let mut idx = mem::take(&mut *self.argmax_u32.borrow_mut());
+        let mut col = mem::take(&mut *self.col.borrow_mut());
+        let cap0 = pool.iter().map(Tensor::capacity).sum::<usize>() * 4
+            + idx.capacity() * 4
+            + col.capacity() * 4;
+        let r = f(&mut pool[..n], &mut idx, &mut col);
+        let cap1 = pool.iter().map(Tensor::capacity).sum::<usize>() * 4
+            + idx.capacity() * 4
+            + col.capacity() * 4;
+        self.grew(cap1.saturating_sub(cap0));
+        *self.scratch.borrow_mut() = pool;
+        *self.argmax_u32.borrow_mut() = idx;
+        *self.col.borrow_mut() = col;
+        r
     }
 
     /// The current value of `v` (cloned out of the arena).

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{Exec, ParamId, ParamStore, Tensor};
+use crate::{ops, Exec, ParamId, ParamStore, Tensor};
 
 /// A fully-connected layer `y = x·W + b`.
 #[derive(Clone, Debug)]
@@ -41,6 +41,19 @@ impl Linear {
         let w = ex.param(store, self.w);
         let b = ex.param(store, self.b);
         ex.add_row(ex.matmul(x, w), b)
+    }
+
+    /// Tape-free forward directly into a caller-provided buffer: one
+    /// matmul plus an in-place bias add, bit-identical to
+    /// [`Linear::forward`] on any backend (the kernels and their order
+    /// are the same; only the intermediate copies disappear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches.
+    pub fn forward_into(&self, store: &ParamStore, x: &Tensor, out: &mut Tensor) {
+        ops::matmul(x, store.value(self.w), out);
+        ops::add_row_in_place(out, store.value(self.b).data());
     }
 }
 
@@ -107,6 +120,34 @@ impl Mlp {
         }
         h
     }
+
+    /// Tape-free forward through all layers into `out`, ping-ponging the
+    /// hidden activations between `tmp0` and `tmp1` with in-place ReLU.
+    /// Bit-identical to [`Mlp::forward`] (same kernels, same order).
+    pub fn forward_into(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        tmp0: &mut Tensor,
+        tmp1: &mut Tensor,
+        out: &mut Tensor,
+    ) {
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward_into(store, x, out);
+            return;
+        }
+        self.layers[0].forward_into(store, x, tmp0);
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            ops::relu_in_place(tmp0);
+            if i + 1 == n {
+                layer.forward_into(store, tmp0, out);
+            } else {
+                layer.forward_into(store, tmp0, tmp1);
+                std::mem::swap(tmp0, tmp1);
+            }
+        }
+    }
 }
 
 /// A 2-D convolution layer with per-channel bias, stride 1.
@@ -143,6 +184,17 @@ impl Conv2d {
         let w = ex.param(store, self.w);
         let b = ex.param(store, self.b);
         ex.add_channel(ex.conv2d(x, w, self.pad), b)
+    }
+
+    /// Tape-free forward into `out`, reusing the caller's im2col scratch
+    /// `col` across calls. Bit-identical to [`Conv2d::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward_into(&self, store: &ParamStore, x: &Tensor, col: &mut Tensor, out: &mut Tensor) {
+        ops::conv2d(x, store.value(self.w), self.pad, col, out);
+        ops::add_channel_in_place(out, store.value(self.b).data());
     }
 }
 

@@ -443,6 +443,241 @@ pub fn maxpool2d(x: &Tensor, size: usize, out: &mut Tensor, argmax: &mut Vec<u32
     }
 }
 
+/// Selects rows `idx` from matrix `src` without pre-filling the output:
+/// the shape is exactly `[idx.len(), d]` and every row is overwritten, so
+/// the zero-fill of [`gather_rows`] is skipped. Empty `idx` produces the
+/// same `[1, d]` zero row as [`gather_rows`]. Values are bit-identical to
+/// [`gather_rows`].
+///
+/// # Panics
+///
+/// Panics if an index is out of range or `src` is not a matrix.
+pub fn gather_rows_flat(src: &Tensor, idx: &[u32], out: &mut Tensor) {
+    let d = src.cols();
+    if idx.is_empty() {
+        out.reset(&[1, d], 0.0);
+        return;
+    }
+    out.reset_for_overwrite(&[idx.len(), d]);
+    if parallel::should_parallelize(idx.len() * d, GATHER_PAR_ELEMS) {
+        out.data_mut().par_chunks_mut(d).enumerate().for_each(|(i, row)| {
+            row.copy_from_slice(src.row(idx[i] as usize));
+        });
+    } else {
+        for (i, &r) in idx.iter().enumerate() {
+            out.data_mut()[i * d..(i + 1) * d].copy_from_slice(src.row(r as usize));
+        }
+    }
+}
+
+/// Copies row `src_row0 + i` of `src` to row `dst_rows[i]` of `dst` for
+/// each `i`. The destination must already be shaped; rows not named in
+/// `dst_rows` keep their contents. Used to write per-group GNN level
+/// results into their level-order positions of the flat embedding matrix.
+///
+/// # Panics
+///
+/// Panics if a row index is out of range or column counts differ.
+pub fn scatter_rows(src: &Tensor, src_row0: usize, dst_rows: &[u32], dst: &mut Tensor) {
+    let d = src.cols();
+    assert_eq!(dst.cols(), d, "scatter_rows column mismatch");
+    for (i, &r) in dst_rows.iter().enumerate() {
+        let row = src.row(src_row0 + i);
+        dst.data_mut()[r as usize * d..(r as usize + 1) * d].copy_from_slice(row);
+    }
+}
+
+/// Per-segment column-wise maximum over pre-sorted rows, driven by CSR
+/// offsets: segment `s` reduces rows `seg_off[s]..seg_off[s + 1]` of
+/// `src`. Bit-identical to [`segment_max`] on an ascending `seg` array
+/// with the same runs: rows scan in ascending order with a
+/// strict-greater select, and empty segments produce zero rows (the
+/// `NEG_INFINITY` sentinel can never be produced by a real row winning,
+/// because `v > -inf` fires for every finite `v` and NaN rows never
+/// replace the sentinel — exactly the `argmax < 0` rule of the legacy
+/// kernel).
+///
+/// # Panics
+///
+/// Panics if `seg_off` is not a valid CSR offset array over `src`'s rows.
+pub fn segment_max_csr(src: &Tensor, seg_off: &[u32], out: &mut Tensor) {
+    let n = seg_off.len().saturating_sub(1);
+    let d = src.cols();
+    if n == 0 {
+        out.reset(&[1, d], 0.0);
+        return;
+    }
+    assert_eq!(*seg_off.last().unwrap_or(&0) as usize, src.rows(), "CSR must cover all rows");
+    out.reset_for_overwrite(&[n, d]);
+    let data = src.data();
+    let reduce_row = |s: usize, orow: &mut [f32]| {
+        let (lo, hi) = (seg_off[s] as usize, seg_off[s + 1] as usize);
+        if lo == hi {
+            orow.fill(0.0);
+            return;
+        }
+        orow.fill(f32::NEG_INFINITY);
+        for r in lo..hi {
+            let srow = &data[r * d..(r + 1) * d];
+            for (o, &v) in orow.iter_mut().zip(srow) {
+                if v > *o {
+                    *o = v;
+                }
+            }
+        }
+        // Columns never beaten (all-NaN or all--inf input) follow the
+        // legacy empty-segment rule and become zero. The sentinel is
+        // matched by bit pattern, so a real -inf produced here is also
+        // (correctly) zeroed, exactly as argmax == -1 would be.
+        for o in orow.iter_mut() {
+            if o.to_bits() == f32::NEG_INFINITY.to_bits() {
+                *o = 0.0;
+            }
+        }
+    };
+    if parallel::should_parallelize(src.rows() * d, GATHER_PAR_ELEMS) {
+        out.data_mut().par_chunks_mut(d).enumerate().for_each(|(s, orow)| reduce_row(s, orow));
+    } else {
+        for (s, orow) in out.data_mut().chunks_mut(d).enumerate() {
+            reduce_row(s, orow);
+        }
+    }
+}
+
+/// Per-segment column-wise sum over pre-sorted rows, driven by CSR
+/// offsets. Bit-identical to [`segment_sum`] on the equivalent ascending
+/// `seg` array: each output row starts from `0.0` and accumulates its
+/// rows in ascending order.
+///
+/// # Panics
+///
+/// Panics if `seg_off` is not a valid CSR offset array over `src`'s rows.
+pub fn segment_sum_csr(src: &Tensor, seg_off: &[u32], out: &mut Tensor) {
+    let n = seg_off.len().saturating_sub(1);
+    let d = src.cols();
+    if n == 0 {
+        out.reset(&[1, d], 0.0);
+        return;
+    }
+    assert_eq!(*seg_off.last().unwrap_or(&0) as usize, src.rows(), "CSR must cover all rows");
+    out.reset_for_overwrite(&[n, d]);
+    let data = src.data();
+    let reduce_row = |s: usize, orow: &mut [f32]| {
+        orow.fill(0.0);
+        for r in seg_off[s] as usize..seg_off[s + 1] as usize {
+            let srow = &data[r * d..(r + 1) * d];
+            for (o, &v) in orow.iter_mut().zip(srow) {
+                *o += v;
+            }
+        }
+    };
+    if parallel::should_parallelize(src.rows() * d, GATHER_PAR_ELEMS) {
+        out.data_mut().par_chunks_mut(d).enumerate().for_each(|(s, orow)| reduce_row(s, orow));
+    } else {
+        for (s, orow) in out.data_mut().chunks_mut(d).enumerate() {
+            reduce_row(s, orow);
+        }
+    }
+}
+
+/// In-place rectified linear unit (same values as [`relu`] minus the
+/// copy).
+pub fn relu_in_place(x: &mut Tensor) {
+    for v in x.data_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// Hyperbolic tangent written directly into `out` (same values as
+/// [`tanh`], but the source stays intact for a later residual add).
+pub fn tanh_to(src: &Tensor, out: &mut Tensor) {
+    out.reset_for_overwrite(src.shape());
+    for (o, &v) in out.data_mut().iter_mut().zip(src.data()) {
+        *o = v.tanh();
+    }
+}
+
+/// In-place bias add: `row` is added to every row of `x` (same values as
+/// [`add_row`] minus the copy).
+///
+/// # Panics
+///
+/// Panics if `row.len() != x.cols()`.
+pub fn add_row_in_place(x: &mut Tensor, row: &[f32]) {
+    assert_eq!(x.cols(), row.len(), "bias width mismatch");
+    let n = row.len();
+    for xr in x.data_mut().chunks_mut(n) {
+        for (v, &b) in xr.iter_mut().zip(row) {
+            *v += b;
+        }
+    }
+}
+
+/// In-place per-channel bias add on a `[C, H, W]` map (same values as
+/// [`add_channel`] minus the copy).
+///
+/// # Panics
+///
+/// Panics if `bias.len() != C`.
+pub fn add_channel_in_place(x: &mut Tensor, bias: &[f32]) {
+    let (c, h, w) = rank3(x);
+    assert_eq!(bias.len(), c, "one bias per channel");
+    for (plane, &b) in x.data_mut().chunks_mut(h * w).zip(bias) {
+        for p in plane {
+            *p += b;
+        }
+    }
+}
+
+/// In-place broadcast Hadamard: every row of `x` is multiplied by `row`
+/// (same values as [`mul_row`] minus the copy).
+///
+/// # Panics
+///
+/// Panics if `row.len() != x.cols()`.
+pub fn mul_row_in_place(x: &mut Tensor, row: &[f32]) {
+    assert_eq!(x.cols(), row.len(), "row width mismatch");
+    let n = row.len();
+    for xr in x.data_mut().chunks_mut(n) {
+        for (v, &m) in xr.iter_mut().zip(row) {
+            *v *= m;
+        }
+    }
+}
+
+/// Adds `x.rows()` consecutive rows of `src` (starting at `src_row0`)
+/// onto `x`, row by row: `x[i] += src[src_row0 + i]`. Used to add a slice
+/// of a precomputed static-MLP product without materializing it.
+///
+/// # Panics
+///
+/// Panics if the row range is out of bounds or columns differ.
+pub fn add_rows_range(x: &mut Tensor, src: &Tensor, src_row0: usize) {
+    let d = x.cols();
+    assert_eq!(src.cols(), d, "add_rows_range column mismatch");
+    let rows = x.rows();
+    let s = &src.data()[src_row0 * d..(src_row0 + rows) * d];
+    for (v, &a) in x.data_mut().iter_mut().zip(s) {
+        *v += a;
+    }
+}
+
+/// In-place row scaling: row `r` of `x` is multiplied by `factors[r]`
+/// (same values as [`scale_rows`] minus the copy).
+///
+/// # Panics
+///
+/// Panics if `factors.len() != x.rows()`.
+pub fn scale_rows_in_place(x: &mut Tensor, factors: &[f32]) {
+    assert_eq!(factors.len(), x.rows());
+    let d = x.cols();
+    for (xr, &f) in x.data_mut().chunks_mut(d).zip(factors) {
+        for v in xr {
+            *v *= f;
+        }
+    }
+}
+
 /// Asserts rank 3 and returns `(C, H, W)`.
 pub(crate) fn rank3(t: &Tensor) -> (usize, usize, usize) {
     let s = t.shape();

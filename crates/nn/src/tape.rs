@@ -56,6 +56,11 @@ pub struct Tape {
     /// flush; tallied lock-free here and flushed to the global
     /// `nn::tape_bytes` counter in [`Tape::backward`] / `Drop`.
     pending_bytes: Cell<u64>,
+    /// Recycled im2col scratch shared by every [`Tape::conv2d`] on this
+    /// tape: the col matrix is transient (only the conv output is kept as
+    /// a node), so one buffer sized for the largest conv serves all calls
+    /// instead of regrowing a fresh allocation per invocation.
+    conv_col: RefCell<Tensor>,
 }
 
 impl Tape {
@@ -221,8 +226,8 @@ impl Tape {
     /// input.
     pub fn conv2d<'t>(&'t self, x: Var<'t>, w: Var<'t>, pad: usize) -> Var<'t> {
         let mut out = Tensor::default();
-        let mut col = Tensor::default();
         {
+            let mut col = self.conv_col.borrow_mut();
             let nodes = self.nodes.borrow();
             ops::conv2d(&nodes[x.id].value, &nodes[w.id].value, pad, &mut col, &mut out);
         }

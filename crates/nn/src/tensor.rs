@@ -30,11 +30,35 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             for i in i0..i1 {
                 let a_row = &a[i * k + k0..i * k + k1];
                 let o_row = &mut out[i * n..(i + 1) * n];
-                for (p, &av) in a_row.iter().enumerate() {
+                // Unroll 4 depth steps per sweep of the output row: one
+                // load/store of each output lane covers four products. The
+                // adds into `acc` are issued strictly in ascending-`k`
+                // order (four separate statements, never a re-associated
+                // sum), so results stay bit-identical to the rolled loop.
+                let mut p = 0;
+                while p + 4 <= a_row.len() {
+                    let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                    let b0 = &b[(k0 + p) * n..(k0 + p + 1) * n];
+                    let b1 = &b[(k0 + p + 1) * n..(k0 + p + 2) * n];
+                    let b2 = &b[(k0 + p + 2) * n..(k0 + p + 3) * n];
+                    let b3 = &b[(k0 + p + 3) * n..(k0 + p + 4) * n];
+                    for j in 0..n {
+                        let mut acc = o_row[j];
+                        acc += a0 * b0[j];
+                        acc += a1 * b1[j];
+                        acc += a2 * b2[j];
+                        acc += a3 * b3[j];
+                        o_row[j] = acc;
+                    }
+                    p += 4;
+                }
+                while p < a_row.len() {
+                    let av = a_row[p];
                     let b_row = &b[(k0 + p) * n..(k0 + p + 1) * n];
                     for (o, &bv) in o_row.iter_mut().zip(b_row) {
                         *o += av * bv;
                     }
+                    p += 1;
                 }
             }
         }
@@ -221,6 +245,27 @@ impl Tensor {
         self.shape.extend_from_slice(shape);
         self.data.clear();
         self.data.resize(self.shape.iter().product(), v);
+    }
+
+    /// Reshapes to `shape` without initializing elements when the volume
+    /// already matches (the allocation and its contents are reused as-is).
+    /// For kernels that overwrite every element before reading any — the
+    /// flat gather/scatter/segment path — this skips [`Tensor::reset`]'s
+    /// fill pass. When the volume changes, falls back to a zero fill so
+    /// the buffer never exposes stale data at a new size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized dimension.
+    pub fn reset_for_overwrite(&mut self, shape: &[usize]) {
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+        let vol = shape.iter().product::<usize>();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        if self.data.len() != vol {
+            self.data.clear();
+            self.data.resize(vol, 0.0);
+        }
     }
 
     /// Makes `self` an exact copy of `src`, reusing the existing

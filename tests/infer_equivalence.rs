@@ -5,7 +5,10 @@
 //! as `predict_taped` / `predict_endpoints_taped`. Both backends execute
 //! the same `rtt_nn::ops` kernels in the same order, so their outputs must
 //! agree to the bit — for every model variant, at tiny and small model
-//! scales, and for any thread count.
+//! scales, and for any thread count. The batched entry points
+//! (`predict_batch` at batch sizes 1, 7, and all endpoints, and
+//! `predict_many`) must land on the same bits as the single-design
+//! `predict` and taped references.
 //!
 //! Thread settings are process-global, so everything runs inside a single
 //! `#[test]` that switches `RTT_THREADS`-equivalent state serially.
@@ -17,7 +20,7 @@ use restructure_timing::baselines::{
 };
 use restructure_timing::flow::{Dataset, DesignData, FlowConfig};
 use restructure_timing::netlist::PinId;
-use restructure_timing::nn::parallel;
+use restructure_timing::nn::{parallel, InferCtx};
 use restructure_timing::prelude::*;
 
 fn assert_bits_eq(what: &str, a: &[f32], b: &[f32]) {
@@ -107,6 +110,42 @@ fn tape_free_predict_is_bit_identical_to_taped() {
             let infer = model.predict(prep);
             let taped = model.predict_taped(prep);
             assert_bits_eq(&format!("{name} @ {threads} threads"), &infer, &taped);
+
+            // Batched prediction through a persistent context must agree
+            // with both reference paths at every batch size: the shared
+            // GNN/CNN activations and the row-wise regressor make each
+            // endpoint's arithmetic independent of its batch neighbors.
+            let ctx = InferCtx::new();
+            let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
+            let whole = model.predict_batch(&ctx, prep, &all);
+            assert_bits_eq(
+                &format!("{name} predict_batch(all) @ {threads} threads"),
+                &whole,
+                &taped,
+            );
+            let by_seven: Vec<f32> =
+                all.chunks(7).flat_map(|c| model.predict_batch(&ctx, prep, c)).collect();
+            assert_bits_eq(
+                &format!("{name} predict_batch(7) @ {threads} threads"),
+                &by_seven,
+                &taped,
+            );
+            let by_one: Vec<f32> =
+                all.iter().flat_map(|&i| model.predict_batch(&ctx, prep, &[i])).collect();
+            assert_bits_eq(
+                &format!("{name} predict_batch(1) @ {threads} threads"),
+                &by_one,
+                &taped,
+            );
+            let many = model.predict_many(&ctx, &[prep, prep]);
+            for (k, got) in many.iter().enumerate() {
+                assert_bits_eq(
+                    &format!("{name} predict_many[{k}] @ {threads} threads"),
+                    got,
+                    &taped,
+                );
+            }
+
             this_round.push(infer);
         }
         let test_inputs = test_labels.inputs(d_test, lib);
