@@ -141,7 +141,9 @@ where
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(chunks.len());
         let mut chunks = chunks.into_iter();
-        let first = chunks.next().expect("at least one chunk");
+        // `threads >= 2` past the serial early-return, so a chunk always
+        // exists; the guard keeps the serving path panic-free regardless.
+        let Some(first) = chunks.next() else { return Vec::new() };
         for c in chunks {
             handles.push(s.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
@@ -154,7 +156,12 @@ where
         let mut out: Vec<R> = first.into_iter().map(f).collect();
         IN_WORKER.with(|w| w.set(was));
         for h in handles {
-            out.extend(h.join().expect("parallel task panicked"));
+            // A worker can only fail if `f` panicked; re-raise that panic
+            // on the caller exactly as rayon does.
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out
     })

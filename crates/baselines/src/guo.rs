@@ -253,6 +253,7 @@ impl GuoModel {
     /// through the arrival head. Bit-identical to
     /// [`Self::predict_endpoints_taped`] (asserted by the equivalence
     /// suite).
+    // rtt-lint: entry
     pub fn predict_endpoints(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
         let p = prepare(inputs);
         let ctx = InferCtx::new();

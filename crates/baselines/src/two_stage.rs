@@ -219,6 +219,7 @@ impl TwoStageModel {
     /// buffer-reusing MLP kernels (no constant copy, no per-layer
     /// allocation). Bit-identical to [`Self::predict_stages_taped`]
     /// (asserted by the equivalence suite).
+    // rtt-lint: entry
     pub fn predict_stages(&self, inputs: &BaselineInputs<'_>) -> HashMap<(PinId, PinId), f32> {
         let sf = extract_features(inputs, self.kind);
         let ctx = InferCtx::new();
@@ -250,6 +251,7 @@ impl TwoStageModel {
     /// Assembles endpoint arrival times by PERT traversal over the
     /// predicted stage delays (cell arcs fold into the stage of their
     /// output net edge).
+    // rtt-lint: entry
     pub fn predict_endpoints(&self, inputs: &BaselineInputs<'_>) -> Vec<f32> {
         self.assemble_endpoints(inputs, &self.predict_stages(inputs))
     }

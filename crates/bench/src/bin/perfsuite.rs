@@ -3,9 +3,10 @@
 //! Times the four workloads the parallel execution layer targets — dataset
 //! generation, GNN forward, CNN forward, and one training epoch — once with
 //! one thread and once with all available cores, then writes the results to
-//! `BENCH_PR6.json` in the current directory (and prints them). Every
+//! `BENCH_PR7.json` in the current directory (and prints them). Every
 //! workload is bit-identical across thread counts, so this suite measures
-//! speed only.
+//! speed only. A `lint` section records the wall time of the full
+//! rtt-lint workspace pass (parse + call graph + reachability).
 //!
 //! The report also contains a `stages` section: the rtt-obs span breakdown
 //! (wall time, call counts, counters) of one instrumented end-to-end pass —
@@ -202,6 +203,24 @@ fn main() {
         batch_rows.push((bs, s, ep_per_s, pins_per_s));
     }
 
+    // Static analysis wall time: the full rtt-lint workspace pass (parse,
+    // call graph, reachability) must stay fast enough to sit in tier-1 CI
+    // (< 5 s target; see ISSUE acceptance).
+    let lint_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let lint_s = time_median(3, || rtt_lint::lint_workspace(&lint_root).expect("lint pass runs"));
+    let lint_report = rtt_lint::lint_workspace(&lint_root).expect("lint pass runs");
+    println!(
+        "\nrtt-lint workspace pass: {lint_s:.3}s ({} files, {} edges, {} entry points, {} hot fns)",
+        lint_report.files_checked,
+        lint_report.call_edges,
+        lint_report.entry_points,
+        lint_report.hot_fns,
+    );
+
     // Per-stage breakdown: reset the span registry so it reflects exactly
     // one instrumented end-to-end pass (generation → place → route → STA →
     // features → one training epoch), then dump the tree.
@@ -252,6 +271,14 @@ fn main() {
         ));
     }
     json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"lint\": {{\"wall_s\": {lint_s:.6}, \"files_checked\": {}, \"call_edges\": {}, \
+         \"entry_points\": {}, \"hot_fns\": {}}},\n",
+        lint_report.files_checked,
+        lint_report.call_edges,
+        lint_report.entry_points,
+        lint_report.hot_fns,
+    ));
     json.push_str("  \"stages\": {\n");
     let n_spans = snap.spans.len();
     for (i, (path, s)) in snap.spans.iter().enumerate() {
@@ -263,6 +290,6 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write("BENCH_PR6.json", json).expect("write BENCH_PR6.json");
-    eprintln!("[written to BENCH_PR6.json]");
+    std::fs::write("BENCH_PR7.json", json).expect("write BENCH_PR7.json");
+    eprintln!("[written to BENCH_PR7.json]");
 }

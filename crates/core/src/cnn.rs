@@ -56,6 +56,7 @@ impl LayoutCnn {
     ///
     /// Panics if `maps` is not `[3, G, G]` with `G` a multiple of 4.
     #[allow(clippy::too_many_arguments)]
+    // rtt-lint: hot
     pub fn forward_into(
         &self,
         store: &ParamStore,

@@ -126,6 +126,24 @@ impl GnnPlan {
             net_off += nn;
             src_off += ns;
         }
+        // Debug/env-gated plan validation (RTT_SANITIZE=1): every gather
+        // and scatter index must address a real flat row, and segment
+        // offsets must tile the gathered messages exactly.
+        if rtt_nn::sanitize::enabled() {
+            let rows = off as usize;
+            for fl in &flat_levels {
+                rtt_nn::sanitize::check_csr(
+                    "gnn_plan.cell_seg",
+                    &fl.cell_seg_off,
+                    &fl.cell_gather,
+                    rows,
+                );
+                rtt_nn::sanitize::check_rows("gnn_plan.net_gather", &fl.net_gather, rows);
+                rtt_nn::sanitize::check_rows("gnn_plan.cell_dst", &fl.cell_dst, rows);
+                rtt_nn::sanitize::check_rows("gnn_plan.net_dst", &fl.net_dst, rows);
+                rtt_nn::sanitize::check_rows("gnn_plan.src_dst", &fl.src_dst, rows);
+            }
+        }
         Self {
             endpoint_rows: endpoint_locs.iter().map(flat).collect(),
             total_rows: off as usize,
@@ -182,12 +200,27 @@ impl GnnSchedule {
                     plan.cell_seg.push(seg as u32);
                     fanin += 1;
                 }
-                plan.cell_fanin.push(f32::from(u16::try_from(fanin).expect("fanin fits")));
+                // Fanin counts are tiny (gate arity ≤ 4 plus buffers);
+                // `as f32` is exact far beyond any real value, so the
+                // range check is a debug invariant, not a release panic.
+                debug_assert!(fanin < (1 << 24), "fanin {fanin} exceeds f32 exact range");
+                plan.cell_fanin.push(fanin as f32);
             }
             for &v in &plan.net_nodes {
-                let e = graph.fanin(v).next().expect("net node has a driver");
-                debug_assert_eq!(e.kind, EdgeKind::Net);
-                plan.net_gather.push(node_loc[e.from as usize]);
+                // `TimingGraph::try_build` rejects driverless net sinks, so
+                // a missing driver is a debug invariant; release builds
+                // gather from the origin slot instead of panicking.
+                let loc = match graph.fanin(v).next() {
+                    Some(e) => {
+                        debug_assert_eq!(e.kind, EdgeKind::Net);
+                        node_loc[e.from as usize]
+                    }
+                    None => {
+                        debug_assert!(false, "net node {v} has a driver (try_build invariant)");
+                        (0, 0)
+                    }
+                };
+                plan.net_gather.push(loc);
             }
             // Permutation: concat order position of each level-order node.
             let mut concat_pos = vec![0u32; nodes.len()];
@@ -461,6 +494,7 @@ impl NetlistGnn {
     ///
     /// Panics if `bufs.len() != FLAT_SCRATCH` or `feats` does not match
     /// `schedule`.
+    // rtt-lint: hot
     pub fn forward_flat(
         &self,
         store: &ParamStore,
@@ -527,6 +561,7 @@ impl NetlistGnn {
                 ops::scatter_rows(sc, fl.src_feat_off, &fl.src_dst, flat);
             }
         }
+        rtt_nn::sanitize::check_finite("gnn_forward_flat", flat);
     }
 }
 

@@ -255,6 +255,7 @@ impl TimingModel {
     /// allocates (nearly) nothing. Outputs are bit-identical to
     /// [`Self::predict_taped`] because both backends run the same
     /// [`rtt_nn::ops`] kernels in the same order.
+    // rtt-lint: entry
     pub fn predict(&self, design: &PreparedDesign) -> Vec<f32> {
         self.predict_with(&InferCtx::new(), design)
     }
@@ -263,6 +264,7 @@ impl TimingModel {
     /// buffer arena persists across designs: a serving loop that scores
     /// many designs (or the same design repeatedly) through one context
     /// allocates on the first pass and reuses those buffers afterwards.
+    // rtt-lint: entry
     pub fn predict_with(&self, ctx: &InferCtx, design: &PreparedDesign) -> Vec<f32> {
         let all: Vec<u32> = (0..design.num_endpoints() as u32).collect();
         self.predict_batch(ctx, design, &all)
@@ -283,6 +285,7 @@ impl TimingModel {
     /// # Panics
     ///
     /// Panics if an index is out of range.
+    // rtt-lint: entry
     pub fn predict_batch(
         &self,
         ctx: &InferCtx,
@@ -365,6 +368,7 @@ impl TimingModel {
     /// Multi-design serving entry point: scores every design (all
     /// endpoints) through one shared context, so the arena and scratch
     /// buffers warm up on the first design and are reused for the rest.
+    // rtt-lint: entry
     pub fn predict_many(&self, ctx: &InferCtx, designs: &[&PreparedDesign]) -> Vec<Vec<f32>> {
         designs.iter().map(|d| self.predict_with(ctx, d)).collect()
     }

@@ -1,0 +1,532 @@
+//! Conservative cross-crate call graph + the reachability rules.
+//!
+//! Built from every [`ParsedFile`] in the workspace at once, so edges cross
+//! crate boundaries (e.g. `TimingModel::predict_batch` in `core` →
+//! `ops::segment_max_csr` in `nn`). Resolution is name + receiver-type
+//! heuristics, biased *conservative*:
+//!
+//! * `Type::method` / free `func(...)` resolve exactly by name;
+//! * `self.method(...)` resolves via the enclosing `impl` type;
+//! * `self.field.method(...)` resolves via the struct-field type table;
+//! * a method call whose receiver type is unknown **fans out to every
+//!   workspace function of that name** — over-approximation, never a
+//!   missed edge — unless the name is a common std method (`len`, `iter`,
+//!   `clone`, …), in which case no workspace function plausibly matches
+//!   and the call is opaque;
+//! * calls to anything not defined in the workspace are opaque. This is
+//!   the soundness boundary: panics *inside std/compat* are invisible,
+//!   panics in workspace code are not.
+//!
+//! Rules on top of the graph:
+//!
+//! * **R003** — BFS from `// rtt-lint: entry` functions; any reachable
+//!   panic site (unwrap/expect/panic-family macro/`[&k]` map index) is
+//!   reported with its full call chain. `unreachable!` and the `assert!`
+//!   family are deliberately exempt: asserting a statically-known
+//!   invariant is the sanctioned way to hoist checks (see P002).
+//! * **P001** — same BFS from `// rtt-lint: hot` functions over
+//!   allocation sites.
+//! * **P002** — local to each `hot` function: an indexed access in an
+//!   innermost loop must be dominated by an `assert!`-family guard above
+//!   the loop that mentions the indexed name.
+
+use crate::diag::{Finding, Rule};
+use crate::parse::{Callee, FnDef, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Methods so common in std/core that an unknown-receiver call to them is
+/// treated as opaque instead of fanning out to same-named workspace fns.
+/// Workspace methods deliberately avoid these names where it matters.
+const COMMON_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_bytes",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "map",
+    "and_then",
+    "ok_or",
+    "ok_or_else",
+    "ok",
+    "err",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+    "exp",
+    "ln",
+    "tanh",
+    "powi",
+    "powf",
+    "floor",
+    "ceil",
+    "round",
+    "to_bits",
+    "from_bits",
+    "collect",
+    "enumerate",
+    "zip",
+    "rev",
+    "chain",
+    "take",
+    "skip",
+    "chunks",
+    "chunks_exact",
+    "chunks_mut",
+    "chunks_exact_mut",
+    "windows",
+    "split_at",
+    "split_at_mut",
+    "first",
+    "last",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "binary_search",
+    "extend",
+    "extend_from_slice",
+    "resize",
+    "resize_with",
+    "reserve",
+    "with_capacity",
+    "fill",
+    "copy_from_slice",
+    "clone_from_slice",
+    "swap",
+    "drain",
+    "clear",
+    "truncate",
+    "retain",
+    "keys",
+    "values",
+    "values_mut",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "split",
+    "lines",
+    "chars",
+    "parse",
+    "join",
+    "position",
+    "find",
+    "any",
+    "all",
+    "count",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "cmp",
+    "partial_cmp",
+    "total_cmp",
+    "eq",
+    "ne",
+    "hash",
+    "fmt",
+    "borrow",
+    "borrow_mut",
+    "lock",
+    "read",
+    "write",
+    "send",
+    "recv",
+    "next",
+    "peek",
+    "copied",
+    "cloned",
+    "step_by",
+    "saturating_sub",
+    "saturating_add",
+    "checked_sub",
+    "checked_add",
+    "checked_mul",
+    "wrapping_add",
+    "is_finite",
+    "is_nan",
+    "is_infinite",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "take_while",
+    "skip_while",
+];
+
+/// One node per parsed workspace function.
+#[derive(Clone, Debug)]
+struct Node {
+    /// Index into `files` / the function's own def.
+    file: usize,
+    def: FnDef,
+}
+
+/// The workspace call graph.
+pub struct CallGraph<'a> {
+    files: &'a [ParsedFile],
+    nodes: Vec<Node>,
+    /// Outgoing edges per node (deduped, sorted).
+    edges: Vec<Vec<usize>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Total number of resolved call edges (diagnostic stat).
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Number of `// rtt-lint: entry` roots.
+    pub fn entry_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.def.entry).count()
+    }
+
+    /// Number of `// rtt-lint: hot` roots.
+    pub fn hot_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.def.hot).count()
+    }
+
+    /// Links every function in `files` into one graph.
+    pub fn build(files: &'a [ParsedFile]) -> CallGraph<'a> {
+        let mut nodes = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for def in &f.fns {
+                nodes.push(Node { file: fi, def: def.clone() });
+            }
+        }
+
+        // Name indices. BTreeMap keeps resolution order deterministic.
+        let mut by_free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.def.name.as_str()).or_default().push(i);
+            match &n.def.self_ty {
+                Some(ty) => {
+                    by_method.entry((ty.as_str(), n.def.name.as_str())).or_default().push(i)
+                }
+                None => by_free.entry(n.def.name.as_str()).or_default().push(i),
+            }
+        }
+        // `(struct, field) → field type` across the workspace.
+        let mut field_ty: BTreeMap<(&str, &str), &str> = BTreeMap::new();
+        for f in files {
+            for td in &f.types {
+                for (field, ty) in &td.fields {
+                    field_ty.insert((td.name.as_str(), field.as_str()), ty.as_str());
+                }
+            }
+        }
+
+        let resolve_field = |self_ty: Option<&str>, path: &str| -> Option<String> {
+            // `self.field` pseudo-receiver recorded by the parser.
+            let field = path.strip_prefix("self.")?;
+            let ty = self_ty?;
+            field_ty.get(&(ty, field)).map(|t| (*t).to_owned())
+        };
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            let mut out = BTreeSet::new();
+            for call in &n.def.calls {
+                match &call.callee {
+                    Callee::Free(name) => {
+                        if let Some(ids) = by_free.get(name.as_str()) {
+                            out.extend(ids.iter().copied());
+                        }
+                    }
+                    Callee::Path(q, name) => {
+                        if let Some(ids) = by_method.get(&(q.as_str(), name.as_str())) {
+                            out.extend(ids.iter().copied());
+                        } else if let Some(ids) = by_free.get(name.as_str()) {
+                            // `module::func(...)` — the qualifier is a module,
+                            // not a type; match free functions by name.
+                            out.extend(ids.iter().copied());
+                        }
+                    }
+                    Callee::Method(recv, name) => {
+                        let ty = match recv.as_deref() {
+                            Some(p) if p.starts_with("self.") => {
+                                resolve_field(n.def.self_ty.as_deref(), p)
+                            }
+                            Some(t) => Some(t.to_owned()),
+                            None => None,
+                        };
+                        match ty {
+                            Some(ty) => {
+                                if let Some(ids) = by_method.get(&(ty.as_str(), name.as_str())) {
+                                    out.extend(ids.iter().copied());
+                                }
+                                // Known receiver type with no workspace method
+                                // of that name → std/compat method → opaque.
+                            }
+                            None => {
+                                // Unknown receiver: conservative fan-out to
+                                // every workspace *method* of that name,
+                                // unless it's a ubiquitous std method.
+                                if !COMMON_METHODS.contains(&name.as_str()) {
+                                    if let Some(ids) = by_name.get(name.as_str()) {
+                                        out.extend(
+                                            ids.iter()
+                                                .copied()
+                                                .filter(|&j| nodes[j].def.self_ty.is_some()),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out.remove(&i); // self-recursion adds nothing to reachability
+            edges[i] = out.into_iter().collect();
+        }
+        CallGraph { files, nodes, edges }
+    }
+
+    /// Runs R003 + P001 + P002 and returns raw findings (unsuppressed).
+    pub fn check(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        self.reachability(Rule::R003, |d| d.entry, |d| &d.panics, "can panic", &mut findings);
+        self.reachability(Rule::P001, |d| d.hot, |d| &d.allocs, "allocates", &mut findings);
+        self.bounds_checks(&mut findings);
+        findings
+    }
+
+    /// Shared BFS for R003/P001: from every root, walk call edges; report
+    /// each site of `sites(def)` in a reached function once, with the
+    /// shortest root→function chain in the message.
+    fn reachability(
+        &self,
+        rule: Rule,
+        is_root: impl Fn(&FnDef) -> bool,
+        sites: impl Fn(&FnDef) -> &[crate::parse::Site],
+        verb: &str,
+        findings: &mut Vec<Finding>,
+    ) {
+        // parent[i] = predecessor on the shortest path from any root.
+        let n = self.nodes.len();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if is_root(&node.def) {
+                seen[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.edges[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    parent[j] = Some(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !seen[i] {
+                continue;
+            }
+            let site_list = sites(&node.def);
+            if site_list.is_empty() {
+                continue;
+            }
+            let chain = self.chain(i, &parent);
+            for site in site_list {
+                findings.push(Finding {
+                    rule,
+                    file: self.files[node.file].path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!("`{}` {verb} on the serving path: {chain}", site.what),
+                    excerpt: String::new(),
+                });
+            }
+        }
+    }
+
+    /// `root -> … -> fn` chain text for node `i` (capped at 8 hops).
+    fn chain(&self, i: usize, parent: &[Option<usize>]) -> String {
+        let mut path = vec![i];
+        let mut cur = i;
+        while let Some(p) = parent[cur] {
+            path.push(p);
+            cur = p;
+            if path.len() > 8 {
+                break;
+            }
+        }
+        path.reverse();
+        let names: Vec<String> = path.iter().map(|&j| self.nodes[j].def.qualified_name()).collect();
+        names.join(" -> ")
+    }
+
+    /// P002: indexed access in a hot fn's innermost loop needs a dominating
+    /// `assert!` that mentions the indexed name. Direct annotation only —
+    /// the hoisting obligation is on the kernel author, not callers.
+    fn bounds_checks(&self, findings: &mut Vec<Finding>) {
+        for node in &self.nodes {
+            if !node.def.hot {
+                continue;
+            }
+            for site in &node.def.index_sites {
+                let guarded =
+                    node.def.asserts.iter().any(|a| {
+                        a.line < site.loop_line && a.idents.iter().any(|id| id == &site.name)
+                    });
+                if !guarded {
+                    findings.push(Finding {
+                        rule: Rule::P002,
+                        file: self.files[node.file].path.clone(),
+                        line: site.line,
+                        col: site.col,
+                        message: format!(
+                            "`{}[…]` in `{}`'s inner loop has no dominating length assert on \
+                             `{}`; the bounds check stays in the loop",
+                            site.name,
+                            node.def.qualified_name(),
+                            site.name
+                        ),
+                        excerpt: String::new(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+    use crate::walk::classify;
+
+    fn graph_findings(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<ParsedFile> =
+            srcs.iter().map(|(path, src)| parse_file(&lex(src), &classify(path))).collect();
+        CallGraph::build(&files).check()
+    }
+
+    #[test]
+    fn cross_file_panic_reachability() {
+        let a = "// rtt-lint: entry\npub fn serve() { helper(); }\n";
+        let b = "pub fn helper() { inner().unwrap(); }\nfn inner() -> Option<u32> { None }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", a), ("crates/b/src/lib.rs", b)]);
+        let r003: Vec<_> = f.iter().filter(|f| f.rule == Rule::R003).collect();
+        assert_eq!(r003.len(), 1, "{f:?}");
+        assert_eq!(r003[0].file, "crates/b/src/lib.rs");
+        assert!(r003[0].message.contains("serve -> helper"), "{}", r003[0].message);
+    }
+
+    #[test]
+    fn unreachable_panics_are_not_flagged() {
+        let src = "// rtt-lint: entry\npub fn serve() { safe(); }\nfn safe() {}\n\
+                   pub fn cold() { never().unwrap(); }\nfn never() -> Option<u32> { None }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", src)]);
+        assert!(f.iter().all(|f| f.rule != Rule::R003), "{f:?}");
+    }
+
+    #[test]
+    fn method_receiver_resolution_through_fields() {
+        let a = "struct Gnn;\nimpl Gnn { pub fn fwd(&self) { danger(); } }\n\
+                 pub struct Model { gnn: Gnn }\nimpl Model {\n// rtt-lint: entry\n\
+                 pub fn predict(&self) { self.gnn.fwd(); }\n}\n\
+                 fn danger() { panic!(\"boom\"); }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", a)]);
+        let r003: Vec<_> = f.iter().filter(|f| f.rule == Rule::R003).collect();
+        assert_eq!(r003.len(), 1, "{f:?}");
+        assert!(
+            r003[0].message.contains("Model::predict -> Gnn::fwd -> danger"),
+            "{}",
+            r003[0].message
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_fans_out_conservatively() {
+        // `x.fwd()` where `x` comes from a call whose return type the
+        // parser cannot see: must still reach Gnn::fwd.
+        let a = "struct Gnn;\nimpl Gnn { pub fn fwd(&self) { panic!(\"boom\"); } }\n\
+                 // rtt-lint: entry\npub fn serve() { let x = make(); x.fwd(); }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", a)]);
+        assert!(f.iter().any(|f| f.rule == Rule::R003), "{f:?}");
+    }
+
+    #[test]
+    fn param_typed_receiver_does_not_fan_out() {
+        // `store: &Store` types the receiver, so `store.fwd()` resolves to
+        // Store::fwd (none here → opaque) instead of fanning out to the
+        // unrelated panicking Gnn::fwd.
+        let a = "struct Gnn;\nimpl Gnn { pub fn fwd(&self) { panic!(\"boom\"); } }\n\
+                 struct Store;\nimpl Store {}\n\
+                 // rtt-lint: entry\npub fn serve(store: &Store) { store.fwd(); }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", a)]);
+        assert!(f.iter().all(|f| f.rule != Rule::R003), "{f:?}");
+    }
+
+    #[test]
+    fn common_std_methods_stay_opaque() {
+        // `.len()` must not fan out to a workspace method named `len` that
+        // panics — wait, it's the reverse: there IS no workspace `len`
+        // here; the call is simply opaque and nothing is flagged.
+        let a = "// rtt-lint: entry\npub fn serve(v: &OpaqueVec) { let _ = v.len(); }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", a)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hot_allocation_flagged_and_map_index_is_a_panic() {
+        let a = "// rtt-lint: hot\npub fn kernel(v: &[f32]) { let w = v.to_vec(); }\n\
+                 // rtt-lint: entry\npub fn serve(m: &M) { let x = cache[&3]; }\n";
+        let f = graph_findings(&[("crates/a/src/lib.rs", a)]);
+        assert!(f.iter().any(|f| f.rule == Rule::P001), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == Rule::R003 && f.message.contains("map index")), "{f:?}");
+    }
+
+    #[test]
+    fn p002_flags_unguarded_and_accepts_guarded() {
+        let bad = "// rtt-lint: hot\npub fn k(a: &[f32], out: &mut [f32]) {\n\
+                   for i in 0..a.len() { out[i] = a[i]; }\n}\n";
+        let good = "// rtt-lint: hot\npub fn k(a: &[f32], out: &mut [f32]) {\n\
+                    assert_eq!(a.len(), out.len());\n\
+                    for i in 0..a.len() { out[i] = a[i]; }\n}\n";
+        let fb = graph_findings(&[("crates/a/src/lib.rs", bad)]);
+        assert!(fb.iter().any(|f| f.rule == Rule::P002), "{fb:?}");
+        let fg = graph_findings(&[("crates/a/src/lib.rs", good)]);
+        assert!(fg.iter().all(|f| f.rule != Rule::P002), "{fg:?}");
+    }
+}

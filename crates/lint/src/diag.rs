@@ -15,18 +15,36 @@ pub enum Rule {
     /// `par_iter()` chain reduced with `.sum()` / `.reduce()`, bypassing the
     /// fixed-order tree sum.
     D004,
+    /// Allocation transitively reachable from a `// rtt-lint: hot` function.
+    P001,
+    /// Indexed access in a hot function's innermost loop without a
+    /// dominating length `assert!`.
+    P002,
     /// `unwrap()` / `expect()` in library code.
     R001,
     /// `panic!` / `todo!` / `unimplemented!` in library code.
     R002,
+    /// Panic site transitively reachable from a `// rtt-lint: entry`
+    /// serving entry point.
+    R003,
     /// `unsafe` without a `// SAFETY:` comment.
     U001,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 7] =
-        [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::R001, Rule::R002, Rule::U001];
+    pub const ALL: [Rule; 10] = [
+        Rule::D001,
+        Rule::D002,
+        Rule::D003,
+        Rule::D004,
+        Rule::P001,
+        Rule::P002,
+        Rule::R001,
+        Rule::R002,
+        Rule::R003,
+        Rule::U001,
+    ];
 
     /// The rule id as written in suppressions (`D001`, …).
     pub fn id(self) -> &'static str {
@@ -35,8 +53,11 @@ impl Rule {
             Rule::D002 => "D002",
             Rule::D003 => "D003",
             Rule::D004 => "D004",
+            Rule::P001 => "P001",
+            Rule::P002 => "P002",
             Rule::R001 => "R001",
             Rule::R002 => "R002",
+            Rule::R003 => "R003",
             Rule::U001 => "U001",
         }
     }
@@ -53,8 +74,11 @@ impl Rule {
             Rule::D002 => "ambient entropy source in library code",
             Rule::D003 => "exact float comparison",
             Rule::D004 => "order-sensitive reduction over a parallel iterator",
+            Rule::P001 => "allocation reachable from a hot-path function",
+            Rule::P002 => "unhoisted bounds check in a hot inner loop",
             Rule::R001 => "unwrap()/expect() in library code",
             Rule::R002 => "panic-family macro in library code",
+            Rule::R003 => "panic site reachable from a serving entry point",
             Rule::U001 => "unsafe without a `// SAFETY:` comment",
         }
     }
@@ -66,8 +90,20 @@ impl Rule {
             Rule::D002 => "thread a seeded rng / take timestamps at the boundary and pass them in",
             Rule::D003 => "compare with an epsilon, or f32::to_bits for exact sentinel checks",
             Rule::D004 => "reduce with the fixed-shape tree sum (see rtt_nn::Grads::tree_sum)",
+            Rule::P001 => {
+                "hoist the allocation into a reused arena/scratch buffer, or move the \
+                           function out of the hot set"
+            }
+            Rule::P002 => {
+                "assert the slice lengths before the loop so LLVM hoists the bounds \
+                           checks and vectorizes"
+            }
             Rule::R001 => "return a typed error (see rtt_netlist::error) or document the invariant",
             Rule::R002 => "return an error; panics turn malformed inputs into aborts",
+            Rule::R003 => {
+                "make the callee fallible, hoist the check to plan/build time, or break \
+                           the call edge"
+            }
             Rule::U001 => "add a `// SAFETY:` comment stating why the invariants hold",
         }
     }

@@ -66,23 +66,35 @@ fn main() -> ExitCode {
 
     match format {
         Format::Json => {
-            println!("[");
+            println!("{{");
+            println!("  \"files_checked\": {},", report.files_checked);
+            println!("  \"suppressed_inline\": {},", report.suppressed_inline);
+            println!("  \"suppressed_baseline\": {},", report.suppressed_baseline);
+            println!("  \"entry_points\": {},", report.entry_points);
+            println!("  \"hot_fns\": {},", report.hot_fns);
+            println!("  \"call_edges\": {},", report.call_edges);
+            println!("  \"findings\": [");
             for (i, f) in report.findings.iter().enumerate() {
                 let comma = if i + 1 < report.findings.len() { "," } else { "" };
-                println!("  {}{comma}", f.render_json());
+                println!("    {}{comma}", f.render_json());
             }
-            println!("]");
+            println!("  ]");
+            println!("}}");
         }
         Format::Text => {
             for f in &report.findings {
                 println!("{}", f.render_text());
             }
             println!(
-                "rtt-lint: {} file(s) checked, {} finding(s), {} suppressed inline, {} baselined",
+                "rtt-lint: {} file(s) checked, {} finding(s), {} suppressed inline, {} baselined; \
+                 call graph: {} entry point(s), {} hot fn(s), {} edge(s)",
                 report.files_checked,
                 report.findings.len(),
                 report.suppressed_inline,
                 report.suppressed_baseline,
+                report.entry_points,
+                report.hot_fns,
+                report.call_edges,
             );
         }
     }

@@ -1,0 +1,1068 @@
+//! A lightweight recursive-descent item/signature parser over the lexer.
+//!
+//! `rtt-lint` v1 matched token patterns per line; the call-graph rules
+//! (R003/P001/P002) need to know *which function* a token belongs to and
+//! *which functions it calls*. This module extracts exactly that — no
+//! types, no expressions, no macro expansion:
+//!
+//! * function definitions (name, enclosing `impl` type, receiver-ness,
+//!   body span), skipping `#[cfg(test)]` items and bodiless trait
+//!   declarations;
+//! * struct definitions with per-field type names (the receiver-type
+//!   heuristic for `self.field.method(...)` calls);
+//! * per-body call sites (free calls, `path::calls`, method calls with a
+//!   best-effort receiver type), panic sites, allocation sites, indexed
+//!   accesses inside innermost loops, and `assert!`-family guards;
+//! * the `// rtt-lint: hot` / `// rtt-lint: entry` function markers.
+//!
+//! Everything here is a documented heuristic: when the parser cannot
+//! resolve something (macro-generated items, trait-object dispatch,
+//! closures) it simply records less, and the call-graph layer treats the
+//! gap as opaque. See DESIGN.md, "Static analysis architecture".
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+use crate::rules::FileContext;
+
+/// Everything extracted from one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// Repo-relative path (diagnostics).
+    pub path: String,
+    /// Owning crate directory name.
+    pub crate_name: String,
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Struct definitions with named fields.
+    pub types: Vec<TypeDef>,
+}
+
+/// A struct definition and the type name of each named field.
+#[derive(Clone, Debug)]
+pub struct TypeDef {
+    /// Struct name.
+    pub name: String,
+    /// `(field, type)` pairs; the type is the *last* capitalized path
+    /// segment of the declared type (`Option<NetlistGnn>` → `NetlistGnn`,
+    /// `Vec<Linear>` → `Linear`), which is what method resolution wants.
+    pub fields: Vec<(String, String)>,
+}
+
+/// One function definition with everything the graph rules consume.
+#[derive(Clone, Debug, Default)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type (`impl Exec for &InferCtx` → `InferCtx`).
+    pub self_ty: Option<String>,
+    /// `true` when the first parameter is a `self` receiver.
+    pub is_method: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Marked `// rtt-lint: hot` (P001/P002 root).
+    pub hot: bool,
+    /// Marked `// rtt-lint: entry` (R003 root).
+    pub entry: bool,
+    /// Outgoing call sites, in source order.
+    pub calls: Vec<CallSite>,
+    /// Panic sites (`unwrap`, `expect`, panic-family macros, `[&k]` map
+    /// indexing), in source order.
+    pub panics: Vec<Site>,
+    /// Allocation sites (`Vec::new`, `clone`, `push`, `format!`, …).
+    pub allocs: Vec<Site>,
+    /// `name[...]` accesses inside an *innermost* loop body.
+    pub index_sites: Vec<IndexSite>,
+    /// `assert!`-family guards and the identifiers they mention.
+    pub asserts: Vec<AssertInfo>,
+}
+
+impl FnDef {
+    /// `Type::name` for methods, bare `name` otherwise.
+    pub fn qualified_name(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A call site and how far the parser got resolving its callee.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// The callee, as locally resolvable.
+    pub callee: Callee,
+    /// 1-based line / column of the callee name.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Callee classification; final resolution happens in the call graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Callee {
+    /// `name(...)` — a free function call.
+    Free(String),
+    /// `qualifier::name(...)` — `Type::method` or `module::function`;
+    /// only the last qualifier segment is kept.
+    Path(String, String),
+    /// `recv.name(...)` — receiver type when locally inferable (`self`,
+    /// `self.field` via the field table, a typed local), else `None`.
+    Method(Option<String>, String),
+}
+
+/// A panic or allocation site.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// What fired (`unwrap`, `panic!`, `clone`, `Vec::new`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// An indexed access `name[...]` inside an innermost loop body.
+#[derive(Clone, Debug)]
+pub struct IndexSite {
+    /// The indexed identifier.
+    pub name: String,
+    /// 1-based line of the access.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Line of the innermost loop's keyword (asserts must dominate it).
+    pub loop_line: u32,
+}
+
+/// One `assert!`/`assert_eq!`/`debug_assert!` and the names it mentions.
+#[derive(Clone, Debug)]
+pub struct AssertInfo {
+    /// 1-based line of the macro.
+    pub line: u32,
+    /// Identifiers appearing in the macro arguments.
+    pub idents: Vec<String>,
+}
+
+/// Identifiers Rust reserves; never treated as a callee name.
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while",
+];
+
+/// Panic-family macros R003 tracks. `unreachable!` and the `assert!`
+/// family are deliberately excluded: they assert statically-known
+/// invariants and are the sanctioned bounds-hoisting mechanism (P002).
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Methods that (re)allocate.
+const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "collect",
+    "push",
+    "extend",
+    "extend_from_slice",
+    "reserve",
+    "resize",
+    "resize_with",
+    "append",
+    "insert",
+];
+
+/// `Type::ctor` pairs that allocate.
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("String", "from"),
+    ("Box", "new"),
+];
+
+const ASSERT_MACROS: &[&str] =
+    &["assert", "assert_eq", "assert_ne", "debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+/// Parses one lexed file into definitions, calls, and sites.
+pub fn parse_file(lexed: &Lexed, ctx: &FileContext) -> ParsedFile {
+    let toks = &lexed.tokens;
+    let markers = markers(&lexed.comments);
+    let test_spans = crate::rules::test_spans(toks);
+    let impls = impl_ranges(toks);
+    let statics = static_bindings(toks);
+    let mut out = ParsedFile {
+        path: ctx.path.clone(),
+        crate_name: ctx.crate_name.clone(),
+        ..ParsedFile::default()
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("struct") && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            if let Some((def, next)) = parse_struct(toks, i) {
+                out.types.push(def);
+                i = next;
+                continue;
+            }
+        }
+        // A `fn` keyword followed by an identifier is a definition (a
+        // bare `fn(..)` is a function-pointer type).
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            let in_test = test_spans.iter().any(|&(s, e)| t.line >= s && t.line <= e);
+            if let Some((def, next)) = parse_fn(toks, i, &impls, &statics) {
+                if !in_test {
+                    out.fns.push(def);
+                }
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // A marker attaches to the *first* fn at or after its line (trailing
+    // markers share the fn line; up to 4 lines of attributes/docs may sit
+    // between a leading marker and its fn).
+    for &(mline, kind) in &markers {
+        if let Some(def) = out
+            .fns
+            .iter_mut()
+            .filter(|d| d.line >= mline && d.line - mline <= 4)
+            .min_by_key(|d| d.line)
+        {
+            match kind {
+                "hot" => def.hot = true,
+                _ => def.entry = true,
+            }
+        }
+    }
+    out
+}
+
+/// `NAME → Type` for every `static`/`const` item in the file (module level
+/// or fn-local — both bind the same way), so `COUNTER.add(1)` resolves to
+/// the static's type instead of fanning out across the workspace.
+fn static_bindings(toks: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if (toks[i].is_ident("static") || toks[i].is_ident("const"))
+            && toks[i + 1].kind == TokenKind::Ident
+            && toks[i + 2].is_punct(":")
+        {
+            // Type tokens run to `=` or `;` at depth 0.
+            let mut ty = None;
+            let (mut d, mut a) = (0i32, 0i32);
+            let mut m = i + 3;
+            while m < toks.len() {
+                let tt = &toks[m];
+                match tt.text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "<" => a += 1,
+                    "<<" => a += 2,
+                    ">" if a > 0 => a -= 1,
+                    ">>" if a > 1 => a -= 2,
+                    "=" | ";" if d == 0 && a == 0 => break,
+                    _ => {}
+                }
+                if tt.kind == TokenKind::Ident && tt.text.starts_with(char::is_uppercase) {
+                    ty = Some(tt.text.clone());
+                }
+                m += 1;
+            }
+            if let Some(ty) = ty {
+                out.push((toks[i + 1].text.clone(), ty));
+            }
+            i = m;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Lines carrying `// rtt-lint: hot` / `// rtt-lint: entry` markers.
+fn markers(comments: &[Comment]) -> Vec<(u32, &'static str)> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("rtt-lint:") else { continue };
+        match rest.trim() {
+            "hot" => out.push((c.line, "hot")),
+            "entry" => out.push((c.line, "entry")),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `(start, end, type)` token ranges of every `impl` block body.
+fn impl_ranges(toks: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            // Skip generic parameters on the impl itself.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+                j = skip_angles(toks, j);
+            }
+            // Collect path segments until `for`, `{`, or `where`; the
+            // self type is the path after `for` when present.
+            let mut first = collect_ty_name(toks, &mut j);
+            if toks.get(j).is_some_and(|t| t.is_ident("for")) {
+                j += 1;
+                first = collect_ty_name(toks, &mut j);
+            }
+            // Find the opening brace (skips where-clauses).
+            while toks.get(j).is_some_and(|t| !t.is_punct("{") && !t.is_punct(";")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                if let (Some(name), Some(end)) = (first, match_brace(toks, j)) {
+                    out.push((j, end, name));
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Reads a type path at `*j`, advancing past it; returns the last
+/// capitalized segment before any generic arguments (`&mut
+/// rtt_nn::InferCtx<'a>` → `InferCtx`).
+fn collect_ty_name(toks: &[Token], j: &mut usize) -> Option<String> {
+    let mut name = None;
+    while let Some(t) = toks.get(*j) {
+        match t.kind {
+            TokenKind::Punct if t.text == "&" || t.text == "::" => {}
+            TokenKind::Lifetime => {}
+            TokenKind::Ident if t.text == "mut" || t.text == "dyn" => {}
+            TokenKind::Ident => {
+                if t.text.starts_with(char::is_uppercase) {
+                    name = Some(t.text.clone());
+                }
+            }
+            TokenKind::Punct if t.text == "<" => {
+                *j = skip_angles(toks, *j);
+                continue;
+            }
+            _ => break,
+        }
+        *j += 1;
+    }
+    name
+}
+
+/// Skips a balanced `<...>` starting at `i` (which must be `<`); tolerates
+/// the lexer's fused `>>` closing two levels at once.
+fn skip_angles(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "->" | "<=" | ">=" | "==" => {}
+            ";" | "{" => break,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" if t.kind == TokenKind::Punct => depth += 1,
+            "}" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `struct Name { fields }` at `i`; returns the def and the index
+/// right after the closing brace. Tuple and unit structs yield no fields.
+fn parse_struct(toks: &[Token], i: usize) -> Option<(TypeDef, usize)> {
+    let name = toks[i + 1].text.clone();
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(toks, j);
+    }
+    // Tuple struct `struct X(...);` or unit `struct X;` — no fields.
+    if toks.get(j).is_some_and(|t| t.is_punct("(") || t.is_punct(";")) {
+        return Some((TypeDef { name, fields: Vec::new() }, j + 1));
+    }
+    while toks.get(j).is_some_and(|t| !t.is_punct("{") && !t.is_punct(";")) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("{")) {
+        return None;
+    }
+    let end = match_brace(toks, j)?;
+    let mut fields = Vec::new();
+    // Scan the body at top level: `name :` introduces a field; its type
+    // runs to the next comma outside parens/brackets/angles.
+    let mut k = j + 1;
+    let mut depth = 0i32; // parens + brackets + braces inside the body
+    let mut angles = 0i32;
+    while k < end {
+        let t = &toks[k];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" => angles += 1,
+            "<<" => angles += 2,
+            ">" if angles > 0 => angles -= 1,
+            ">>" if angles > 1 => angles -= 2,
+            _ => {}
+        }
+        if depth == 0
+            && angles == 0
+            && t.kind == TokenKind::Ident
+            && !KEYWORDS.contains(&t.text.as_str())
+            && toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+        {
+            // Type tokens run to the field-separating comma.
+            let mut ty = None;
+            let (mut d, mut a) = (0i32, 0i32);
+            let mut m = k + 2;
+            while m < end {
+                let tt = &toks[m];
+                match tt.text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "<" => a += 1,
+                    "<<" => a += 2,
+                    ">" if a > 0 => a -= 1,
+                    ">>" if a > 1 => a -= 2,
+                    "," if d == 0 && a == 0 => break,
+                    _ => {}
+                }
+                if tt.kind == TokenKind::Ident && tt.text.starts_with(char::is_uppercase) {
+                    ty = Some(tt.text.clone());
+                }
+                m += 1;
+            }
+            if let Some(ty) = ty {
+                fields.push((t.text.clone(), ty));
+            }
+            k = m;
+            continue;
+        }
+        k += 1;
+    }
+    Some((TypeDef { name, fields }, end + 1))
+}
+
+/// Parses a `fn` definition at `i`; returns the def and the index right
+/// after its body (or signature, for bodiless trait declarations, which
+/// yield `None`).
+fn parse_fn(
+    toks: &[Token],
+    i: usize,
+    impls: &[(usize, usize, String)],
+    statics: &[(String, String)],
+) -> Option<(FnDef, usize)> {
+    let name_tok = &toks[i + 1];
+    let fn_line = toks[i].line;
+    let self_ty = impls.iter().find(|&&(s, e, _)| i > s && i < e).map(|(_, _, ty)| ty.clone());
+
+    // Signature: optional generics, then the parameter list.
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(toks, j);
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let params_open = j;
+    let params_close = match_paren(toks, params_open)?;
+    let is_method = toks[params_open + 1..params_close]
+        .iter()
+        .take_while(|t| t.is_punct("&") || t.kind == TokenKind::Lifetime || t.is_ident("mut"))
+        .count()
+        .checked_add(params_open + 1)
+        .and_then(|k| toks.get(k))
+        .is_some_and(|t| t.is_ident("self"));
+
+    // Body: the first top-level `{` after the parameter list; a `;` first
+    // means a bodiless trait declaration.
+    let mut k = params_close + 1;
+    let mut angles = 0i32;
+    loop {
+        let t = toks.get(k)?;
+        match t.text.as_str() {
+            "<" => angles += 1,
+            "<<" => angles += 2,
+            ">" if angles > 0 => angles -= 1,
+            ">>" if angles > 1 => angles -= 2,
+            "(" | "[" => {
+                k = match_open(toks, k)?;
+            }
+            "{" if angles == 0 => break,
+            ";" if angles == 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    let body_open = k;
+    let body_close = match_brace(toks, body_open)?;
+
+    // File-level statics first, then parameters: later bindings shadow
+    // earlier ones in the receiver lookup.
+    let mut params = statics.to_vec();
+    params.extend(param_types(toks, params_open + 1, params_close, self_ty.as_deref()));
+    let mut def = FnDef {
+        name: name_tok.text.clone(),
+        self_ty,
+        is_method,
+        line: fn_line,
+        ..FnDef::default()
+    };
+    scan_body(toks, body_open + 1, body_close, &mut def, params);
+    Some((def, body_close + 1))
+}
+
+/// Extracts `name → Type` pairs from a parameter list, so method calls on
+/// parameters (`store.value(...)` with `store: &ParamStore`) resolve to the
+/// parameter's type instead of fanning out to every same-named method in
+/// the workspace. The type is the last capitalized path segment, matching
+/// the struct-field and let-binding heuristics; generic parameters (`ex: E`)
+/// resolve to a type with no known methods and stay opaque.
+fn param_types(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut i = start;
+    while i < end {
+        // One parameter runs to the next comma outside parens/angles.
+        let chunk = i;
+        let (mut d, mut a) = (0i32, 0i32);
+        while i < end {
+            match toks[i].text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "<" => a += 1,
+                "<<" => a += 2,
+                ">" if a > 0 => a -= 1,
+                ">>" if a > 1 => a -= 2,
+                "," if d == 0 && a == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        // `[mut] name : ...Type...` — patterns like `(a, b): (A, B)` and
+        // the `self` receiver carry no single name/type pair and are skipped.
+        let mut j = chunk;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident && !t.is_ident("self"))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(":"))
+        {
+            let ty = toks[j + 2..i]
+                .iter()
+                .rfind(|t| t.kind == TokenKind::Ident && t.text.starts_with(char::is_uppercase))
+                .map(|t| t.text.as_str());
+            if let Some(ty) = ty {
+                let ty = if ty == "Self" { self_ty.unwrap_or("Self") } else { ty };
+                params.push((toks[j].text.clone(), ty.to_owned()));
+            }
+        }
+        i += 1;
+    }
+    params
+}
+
+/// Index of the token matching the opener at `open` (`(` or `[`).
+fn match_open(toks: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn match_paren(toks: &[Token], open: usize) -> Option<usize> {
+    match_open(toks, open)
+}
+
+/// Loop body token ranges inside `[start, end)`, innermost ones only.
+fn innermost_loops(toks: &[Token], start: usize, end: usize) -> Vec<(u32, usize, usize)> {
+    let mut all: Vec<(u32, usize, usize)> = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop") {
+            // The loop body is the next `{` at zero paren/bracket depth.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut open = None;
+            while j < end {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                if let Some(close) = match_brace(toks, open) {
+                    all.push((t.line, open + 1, close));
+                }
+            }
+        }
+        i += 1;
+    }
+    // Innermost: contains no other loop body strictly inside it.
+    all.iter()
+        .filter(|&&(_, s, e)| !all.iter().any(|&(_, s2, e2)| s2 > s && e2 < e))
+        .copied()
+        .collect()
+}
+
+/// Walks one function body, recording calls, panic/alloc sites, asserts,
+/// indexed accesses in innermost loops, and locally-inferable types.
+fn scan_body(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    def: &mut FnDef,
+    params: Vec<(String, String)>,
+) {
+    let loops = innermost_loops(toks, start, end);
+    // `name → Type` for locals whose type is locally evident, seeded with
+    // the typed parameters from the signature.
+    let mut locals: Vec<(String, String)> = params;
+    let self_ty = def.self_ty.clone();
+    let resolve_self = |ty: &str| -> String {
+        if ty == "Self" {
+            self_ty.clone().unwrap_or_else(|| "Self".to_owned())
+        } else {
+            ty.to_owned()
+        }
+    };
+
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+
+        // ---- local type bindings --------------------------------------
+        // `let [mut] name : ...Type...` / `let [mut] name = Type::ctor(`;
+        // body-level `static NAME: Type` and `const NAME: Type` bind the
+        // same way (e.g. a fn-local `static C: rtt_obs::Counter`).
+        if t.is_ident("let") || t.is_ident("static") || t.is_ident("const") {
+            let mut j = i + 1;
+            while toks.get(j).is_some_and(|x| x.is_ident("mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|x| x.kind == TokenKind::Ident) {
+                let name = toks[j].text.clone();
+                if toks.get(j + 1).is_some_and(|x| x.is_punct(":")) {
+                    // Type tokens run to `=` or `;` at depth 0.
+                    let mut ty = None;
+                    let (mut d, mut a) = (0i32, 0i32);
+                    let mut m = j + 2;
+                    while m < end {
+                        let tt = &toks[m];
+                        match tt.text.as_str() {
+                            "(" | "[" | "{" => d += 1,
+                            ")" | "]" | "}" => d -= 1,
+                            "<" => a += 1,
+                            "<<" => a += 2,
+                            ">" if a > 0 => a -= 1,
+                            ">>" if a > 1 => a -= 2,
+                            "=" | ";" if d == 0 && a == 0 => break,
+                            _ => {}
+                        }
+                        if tt.kind == TokenKind::Ident && tt.text.starts_with(char::is_uppercase) {
+                            ty = Some(tt.text.clone());
+                        }
+                        m += 1;
+                    }
+                    if let Some(ty) = ty {
+                        locals.push((name, resolve_self(&ty)));
+                    }
+                } else if toks.get(j + 1).is_some_and(|x| x.is_punct("="))
+                    && toks.get(j + 2).is_some_and(|x| {
+                        x.kind == TokenKind::Ident && x.text.starts_with(char::is_uppercase)
+                    })
+                    && toks.get(j + 3).is_some_and(|x| x.is_punct("::"))
+                {
+                    locals.push((name, resolve_self(&toks[j + 2].text)));
+                }
+            }
+        }
+        // `Some(name) = [&]self.field` (if-let / let-else / while-let):
+        // bind `name` to the field's element type.
+        if t.is_ident("Some")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+            && toks.get(i + 2).is_some_and(|x| x.kind == TokenKind::Ident)
+            && toks.get(i + 3).is_some_and(|x| x.is_punct(")"))
+            && toks.get(i + 4).is_some_and(|x| x.is_punct("="))
+        {
+            let mut j = i + 5;
+            while toks.get(j).is_some_and(|x| x.is_punct("&") || x.is_ident("mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|x| x.is_ident("self"))
+                && toks.get(j + 1).is_some_and(|x| x.is_punct("."))
+                && toks.get(j + 2).is_some_and(|x| x.kind == TokenKind::Ident)
+            {
+                // Field type resolution happens in the call graph (it owns
+                // the field table); record the access path as a pseudo-type
+                // `self.field` for it to resolve.
+                locals.push((toks[i + 2].text.clone(), format!("self.{}", toks[j + 2].text)));
+            }
+        }
+
+        // ---- macros ----------------------------------------------------
+        if t.kind == TokenKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            let name = t.text.as_str();
+            if PANIC_MACROS.contains(&name) {
+                def.panics.push(Site { what: format!("{name}!"), line: t.line, col: t.col });
+            } else if ALLOC_MACROS.contains(&name) {
+                def.allocs.push(Site { what: format!("{name}!"), line: t.line, col: t.col });
+            } else if ASSERT_MACROS.contains(&name) {
+                if let Some(open) = toks.get(i + 2).filter(|x| x.is_punct("(")).map(|_| i + 2) {
+                    if let Some(close) = match_paren(toks, open) {
+                        let idents = toks[open + 1..close]
+                            .iter()
+                            .filter(|x| x.kind == TokenKind::Ident)
+                            .map(|x| x.text.clone())
+                            .collect();
+                        def.asserts.push(AssertInfo { line: t.line, idents });
+                        i = close;
+                        continue;
+                    }
+                }
+            }
+            i += 2;
+            continue;
+        }
+
+        // ---- method calls, panic methods, alloc methods ---------------
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|m| m.kind == TokenKind::Ident)
+            && toks.get(i + 2).is_some_and(|p| p.is_punct("("))
+        {
+            let m = &toks[i + 1];
+            let mname = m.text.as_str();
+            if mname == "unwrap" || mname == "expect" {
+                def.panics.push(Site { what: mname.to_owned(), line: m.line, col: m.col });
+            }
+            if ALLOC_METHODS.contains(&mname) {
+                def.allocs.push(Site { what: mname.to_owned(), line: m.line, col: m.col });
+            }
+            let recv = receiver_hint(toks, i, &locals, self_ty.as_deref());
+            def.calls.push(CallSite {
+                callee: Callee::Method(recv, m.text.clone()),
+                line: m.line,
+                col: m.col,
+            });
+            i += 3;
+            continue;
+        }
+
+        // ---- path and free calls ---------------------------------------
+        if t.kind == TokenKind::Ident
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+            && !KEYWORDS.contains(&t.text.as_str())
+            // `fn name(` is a nested definition, not a call.
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            if i > 0 && toks[i - 1].is_punct("::") && i > 1 && toks[i - 2].kind == TokenKind::Ident
+            {
+                let q = resolve_self(&toks[i - 2].text);
+                if let Some(&(_, ctor)) =
+                    ALLOC_CTORS.iter().find(|&&(ty, c)| ty == q && c == t.text)
+                {
+                    def.allocs.push(Site {
+                        what: format!("{q}::{ctor}"),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                def.calls.push(CallSite {
+                    callee: Callee::Path(q, t.text.clone()),
+                    line: t.line,
+                    col: t.col,
+                });
+            } else if i == 0 || !toks[i - 1].is_punct(".") {
+                def.calls.push(CallSite {
+                    callee: Callee::Free(t.text.clone()),
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            i += 2;
+            continue;
+        }
+
+        // ---- indexing --------------------------------------------------
+        if t.is_punct("[")
+            && i > 0
+            && toks[i - 1].kind == TokenKind::Ident
+            && !KEYWORDS.contains(&toks[i - 1].text.as_str())
+        {
+            // `map[&key]` indexes a map: panics when the key is missing.
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("&")) {
+                def.panics.push(Site {
+                    what: format!("{}[&…] map index", toks[i - 1].text),
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            // `name[...]` inside an innermost loop body: P002 material.
+            if toks[i - 1].kind == TokenKind::Ident
+                && !toks[i - 1].text.starts_with(char::is_uppercase)
+            {
+                if let Some(&(loop_line, _, _)) = loops.iter().find(|&&(_, s, e)| i >= s && i < e) {
+                    def.index_sites.push(IndexSite {
+                        name: toks[i - 1].text.clone(),
+                        line: t.line,
+                        col: t.col,
+                        loop_line,
+                    });
+                }
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Best-effort receiver type of the method call whose `.` sits at `dot`.
+fn receiver_hint(
+    toks: &[Token],
+    dot: usize,
+    locals: &[(String, String)],
+    self_ty: Option<&str>,
+) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let local_ty = |name: &str| -> Option<String> {
+        locals.iter().rev().find(|(n, _)| n == name).map(|(_, ty)| ty.clone())
+    };
+    let prev = &toks[dot - 1];
+    // `self.m(...)`.
+    if prev.is_ident("self") {
+        return self_ty.map(str::to_owned);
+    }
+    if prev.kind == TokenKind::Ident {
+        // `self.field.m(...)` — resolved against the field table later.
+        if dot >= 3 && toks[dot - 2].is_punct(".") && toks[dot - 3].is_ident("self") {
+            return Some(format!("self.{}", prev.text));
+        }
+        // `local.m(...)` with a locally evident type.
+        return local_ty(&prev.text);
+    }
+    // `expr[...]` receiver: `self.field[i].m(...)` / `local[i].m(...)`.
+    if prev.is_punct("]") {
+        let mut depth = 0i32;
+        let mut j = dot - 1;
+        loop {
+            match toks[j].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j >= 1 && toks[j - 1].kind == TokenKind::Ident {
+            if j >= 3 && toks[j - 2].is_punct(".") && toks[j - 3].is_ident("self") {
+                return Some(format!("self.{}", toks[j - 1].text));
+            }
+            return local_ty(&toks[j - 1].text);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::walk::classify;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src), &classify("crates/x/src/lib.rs"))
+    }
+
+    #[test]
+    fn finds_plain_and_impl_fns() {
+        let src = "fn a() { b(); }\n\
+                   struct S { f: Mlp }\n\
+                   impl S {\n    fn m(&self) { self.f.forward_into(x); }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "a");
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].callee, Callee::Free("b".to_owned()));
+        let m = &p.fns[1];
+        assert_eq!(m.self_ty.as_deref(), Some("S"));
+        assert!(m.is_method);
+        assert_eq!(p.types[0].fields, vec![("f".to_owned(), "Mlp".to_owned())]);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped() {
+        let src = "trait T { fn a(self) -> usize; fn b(&self) { helper(); } }";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "b");
+    }
+
+    #[test]
+    fn markers_attach_to_the_next_fn() {
+        let src = "// rtt-lint: hot\nfn k() {}\n\n// rtt-lint: entry\npub fn e() {}\nfn c() {}\n";
+        let p = parse(src);
+        assert!(p.fns[0].hot && !p.fns[0].entry);
+        assert!(p.fns[1].entry && !p.fns[1].hot);
+        assert!(!p.fns[2].hot && !p.fns[2].entry);
+    }
+
+    #[test]
+    fn panic_and_alloc_sites_are_recorded() {
+        let src = "fn f(m: &std::collections::HashMap<u32,u32>) {\n\
+                   let x = opt.unwrap();\n    let y = v.to_vec();\n\
+                   let z = m[&3];\n    panic!(\"no\");\n}\n";
+        let p = parse(src);
+        let f = &p.fns[0];
+        let whats: Vec<&str> = f.panics.iter().map(|s| s.what.as_str()).collect();
+        assert!(whats.contains(&"unwrap"));
+        assert!(whats.contains(&"panic!"));
+        assert!(whats.iter().any(|w| w.contains("map index")), "{whats:?}");
+        assert_eq!(f.allocs[0].what, "to_vec");
+    }
+
+    #[test]
+    fn innermost_loop_indexing_and_asserts() {
+        let src = "fn k(a: &[f32], out: &mut [f32]) {\n\
+                   assert_eq!(a.len(), out.len());\n\
+                   for i in 0..a.len() {\n        out[i] = a[i];\n    }\n}\n";
+        let p = parse(src);
+        let f = &p.fns[0];
+        assert_eq!(f.index_sites.len(), 2);
+        assert_eq!(f.asserts.len(), 1);
+        assert!(f.asserts[0].idents.contains(&"a".to_owned()));
+        assert!(f.asserts[0].idents.contains(&"out".to_owned()));
+        assert!(f.asserts[0].line < f.index_sites[0].loop_line);
+    }
+
+    #[test]
+    fn impl_for_reference_type_resolves() {
+        let src = "impl Exec for &InferCtx { fn matmul(self) { self.emit(); } }";
+        let p = parse(src);
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("InferCtx"));
+    }
+
+    #[test]
+    fn parameter_types_drive_receiver_resolution() {
+        // The real Linear::forward signature: a generic backend parameter
+        // plus a typed store. `ex.matmul` must resolve to the generic `E`
+        // (opaque downstream) and `store.value` to ParamStore.
+        let src = "pub fn forward<E: Exec>(ex: E, store: &ParamStore, x: E::Value) -> E::Value {\n\
+                   ex.matmul(x, store.value(w))\n}\n";
+        let p = parse(src);
+        let recv: Vec<_> = p.fns[0]
+            .calls
+            .iter()
+            .map(|c| match &c.callee {
+                Callee::Method(recv, name) => (recv.as_deref(), name.as_str()),
+                other => panic!("unexpected callee {other:?}"),
+            })
+            .collect();
+        assert!(recv.contains(&(Some("E"), "matmul")), "{recv:?}");
+        assert!(recv.contains(&(Some("ParamStore"), "value")), "{recv:?}");
+    }
+
+    #[test]
+    fn closure_params_do_not_break_later_ones() {
+        // The real with_scratch signature: an impl-Fn parameter whose type
+        // tokens contain parens, references, and generics.
+        let src = "pub fn with_scratch<R>(n: usize, \
+                   f: impl FnOnce(&mut [Tensor], &mut Vec<u32>, &mut Tensor) -> R, \
+                   store: &ParamStore) -> R {\n    store.value(n)\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].name, "with_scratch");
+        assert!(
+            p.fns[0]
+                .calls
+                .iter()
+                .any(|c| c.callee
+                    == Callee::Method(Some("ParamStore".to_owned()), "value".to_owned())),
+            "{:?}",
+            p.fns[0].calls
+        );
+    }
+
+    #[test]
+    fn file_level_statics_type_their_receivers() {
+        let src = "static CALLS: rtt_obs::Counter = rtt_obs::Counter::new(\"x\");\n\
+                   fn bump() { CALLS.add(1); }\n\
+                   fn local() { static N: rtt_obs::Counter = rtt_obs::Counter::new(\"y\"); N.add(2); }\n";
+        let p = parse(src);
+        let add_recv = |f: &FnDef| -> Option<String> {
+            f.calls.iter().find_map(|c| match &c.callee {
+                Callee::Method(recv, name) if name == "add" => recv.clone(),
+                _ => None,
+            })
+        };
+        assert_eq!(add_recv(&p.fns[0]).as_deref(), Some("Counter"));
+        assert_eq!(add_recv(&p.fns[1]).as_deref(), Some("Counter"));
+    }
+}

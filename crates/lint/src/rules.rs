@@ -375,8 +375,9 @@ fn cumulative_depth(toks: &[Token]) -> Vec<i32> {
 }
 
 /// Line spans of `#[cfg(test)]` / `#[test]` items (mod or fn), so R001 and
-/// R002 skip test code embedded in library files.
-fn test_spans(toks: &[Token]) -> Vec<(u32, u32)> {
+/// R002 skip test code embedded in library files (the parser reuses this to
+/// keep test functions out of the call graph).
+pub(crate) fn test_spans(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {

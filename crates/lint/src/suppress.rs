@@ -47,6 +47,11 @@ pub fn parse_inline(comments: &[Comment], file: &str) -> (Vec<InlineAllow>, Vec<
     let mut warnings = Vec::new();
     for c in comments {
         let Some(rest) = c.text.trim().strip_prefix("rtt-lint:") else { continue };
+        // `hot` / `entry` are function markers consumed by the parser
+        // (`crate::parse`), not suppressions.
+        if matches!(rest.trim(), "hot" | "entry") {
+            continue;
+        }
         match parse_allow_clause(rest.trim()) {
             Ok((rules, reason)) => {
                 allows.push(InlineAllow { rules, reason, line: c.line, trailing: c.trailing })
@@ -259,6 +264,14 @@ mod tests {
             assert!(allows.is_empty(), "{bad}");
             assert_eq!(warns.len(), 1, "{bad}");
         }
+    }
+
+    #[test]
+    fn hot_and_entry_markers_are_not_warnings() {
+        let src = "// rtt-lint: hot\nfn k() {}\n// rtt-lint: entry\nfn e() {}\n";
+        let (allows, warns) = parse_inline(&lex(src).comments, "x.rs");
+        assert!(allows.is_empty());
+        assert!(warns.is_empty(), "{warns:?}");
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! P001 negative: the hot kernel writes in place; the allocating
+//! function exists but is neither hot nor reachable from a hot fn.
+
+// rtt-lint: hot
+pub fn kernel_fixture(v: &mut [f32]) {
+    for x in v.iter_mut() {
+        *x += 1.0;
+    }
+}
+
+pub fn cold_fixture(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,13 @@
+//! P001 positive: the hot kernel allocates — once directly, once
+//! through a callee in the same file.
+
+// rtt-lint: hot
+pub fn kernel_fixture(v: &[f32]) -> Vec<f32> {
+    let mut doubled = v.to_vec();
+    grow(&mut doubled);
+    doubled
+}
+
+fn grow(v: &mut Vec<f32>) {
+    v.push(0.0);
+}

@@ -1,0 +1,10 @@
+//! P002 negative: the length relation is asserted once above the loop,
+//! so the compiler can elide the per-iteration bounds checks.
+
+// rtt-lint: hot
+pub fn scale_fixture(a: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), out.len());
+    for i in 0..a.len() {
+        out[i] = a[i] * 2.0;
+    }
+}

@@ -1,0 +1,9 @@
+//! P002 positive: indexed accesses in the hot inner loop with no
+//! hoisted length assert — every `out[i]` re-checks bounds.
+
+// rtt-lint: hot
+pub fn scale_fixture(a: &[f32], out: &mut [f32]) {
+    for i in 0..a.len() {
+        out[i] = a[i] * 2.0;
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared callee file for the r003 fixtures: one panicking helper (a
+//! map index aborts on a missing key), one safe helper.
+
+pub fn helper_lookup() -> u32 {
+    let cache = std::collections::BTreeMap::new();
+    cache[&3u32]
+}
+
+pub fn helper_safe() -> u32 {
+    7
+}

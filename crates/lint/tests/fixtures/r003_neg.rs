@@ -1,0 +1,7 @@
+//! R003 negative: the helper file still contains a panic site, but the
+//! entry point only calls the safe helper, so nothing is reachable.
+
+// rtt-lint: entry
+pub fn serve_fixture_safe() {
+    let _ = helper_safe();
+}

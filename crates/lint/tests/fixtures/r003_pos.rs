@@ -1,0 +1,7 @@
+//! R003 positive: the entry point reaches a panic site in another file
+//! (and another crate — `helper_lookup` lives in `r003_helper.rs`).
+
+// rtt-lint: entry
+pub fn serve_fixture() {
+    helper_lookup();
+}

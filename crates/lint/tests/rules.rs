@@ -43,6 +43,80 @@ fixture_case!(r001_unwrap_expect, Rule::R001, "r001_pos.rs", "r001_neg.rs", 2);
 fixture_case!(r002_panic_macros, Rule::R002, "r002_pos.rs", "r002_neg.rs", 3);
 fixture_case!(u001_unsafe_no_comment, Rule::U001, "u001_pos.rs", "u001_neg.rs", 1);
 
+/// The reachability rules (R003/P001/P002) need the call graph, so their
+/// fixtures go through `lint_files` — with each file in a different crate
+/// to keep the resolution cross-crate — instead of `lint_source`.
+fn graph_rule_findings(files: &[(&str, &str)], rule: Rule) -> usize {
+    let ctxs: Vec<(FileContext, &str)> = files
+        .iter()
+        .map(|(path, src)| {
+            let crate_name = path.split('/').nth(1).unwrap_or("nn").to_owned();
+            let ctx = FileContext {
+                path: (*path).to_owned(),
+                crate_name,
+                determinism_critical: false,
+                kind: FileKind::Lib,
+            };
+            (ctx, *src)
+        })
+        .collect();
+    rtt_lint::lint_files(&ctxs).findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn r003_fixture_panic_reachability_is_cross_crate() {
+    let pos = include_str!("fixtures/r003_pos.rs");
+    let neg = include_str!("fixtures/r003_neg.rs");
+    let helper = include_str!("fixtures/r003_helper.rs");
+    assert_eq!(
+        graph_rule_findings(
+            &[("crates/nn/src/r003_pos.rs", pos), ("crates/core/src/r003_helper.rs", helper)],
+            Rule::R003,
+        ),
+        1,
+        "entry -> helper_lookup -> map index must be reported once"
+    );
+    assert_eq!(
+        graph_rule_findings(
+            &[("crates/nn/src/r003_neg.rs", neg), ("crates/core/src/r003_helper.rs", helper)],
+            Rule::R003,
+        ),
+        0,
+        "an unreached panic site must stay silent"
+    );
+}
+
+#[test]
+fn p001_fixture_flags_hot_allocations_only() {
+    let pos = include_str!("fixtures/p001_pos.rs");
+    let neg = include_str!("fixtures/p001_neg.rs");
+    assert_eq!(
+        graph_rule_findings(&[("crates/nn/src/p001_pos.rs", pos)], Rule::P001),
+        2,
+        "both the direct to_vec and the reachable push must be reported"
+    );
+    assert_eq!(
+        graph_rule_findings(&[("crates/nn/src/p001_neg.rs", neg)], Rule::P001),
+        0,
+        "allocation in a cold fn must stay silent"
+    );
+}
+
+#[test]
+fn p002_fixture_wants_hoisted_length_asserts() {
+    let pos = include_str!("fixtures/p002_pos.rs");
+    let neg = include_str!("fixtures/p002_neg.rs");
+    assert!(
+        graph_rule_findings(&[("crates/nn/src/p002_pos.rs", pos)], Rule::P002) >= 1,
+        "unguarded indexing in the hot inner loop must be reported"
+    );
+    assert_eq!(
+        graph_rule_findings(&[("crates/nn/src/p002_neg.rs", neg)], Rule::P002),
+        0,
+        "a hoisted assert_eq on the indexed slices must satisfy the rule"
+    );
+}
+
 #[test]
 fn negative_fixtures_are_fully_clean() {
     for (name, neg) in [

@@ -76,6 +76,7 @@ impl TimingGraph {
     /// Panics if the netlist contains a combinational cycle; use
     /// [`Self::try_build`] to handle that case.
     pub fn build(netlist: &Netlist, library: &CellLibrary) -> Self {
+        // rtt-lint: allow(R001, reason = "documented panicking convenience wrapper; try_build is the fallible API")
         Self::try_build(netlist, library).expect("combinational cycle in netlist")
     }
 

@@ -23,12 +23,14 @@ macro_rules! id_type {
 
             /// Creates an id from a raw `usize` index.
             ///
-            /// # Panics
-            ///
-            /// Panics if `index` does not fit in `u32`.
+            /// Ids are `u32`; callers never exceed that (the largest
+            /// paper-scale designs are ~1.4 M pins), so overflow is a
+            /// debug-checked invariant rather than a release panic —
+            /// release builds wrap, keeping `predict` panic-free.
             #[inline]
             pub fn from_index(index: usize) -> Self {
-                Self(u32::try_from(index).expect("id overflow"))
+                debug_assert!(u32::try_from(index).is_ok(), "id overflow: {index}");
+                Self(index as u32)
             }
         }
 
@@ -97,6 +99,9 @@ mod tests {
         assert!(PinId(1) < PinId(2));
     }
 
+    // Overflow is a debug-checked invariant (release builds wrap), so the
+    // panic is only observable with debug assertions on.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "id overflow")]
     fn from_index_overflow_panics() {

@@ -88,8 +88,12 @@ impl GateFn {
     }
 
     /// Index of this function in the one-hot gate-type encoding.
+    ///
+    /// `ALL` lists the variants in declaration order, so the discriminant
+    /// *is* the one-hot index (`one_hot_indices_are_dense_and_unique`
+    /// asserts the round trip).
     pub fn one_hot_index(self) -> usize {
-        Self::ALL.iter().position(|g| *g == self).expect("listed in ALL")
+        self as usize
     }
 
     /// `true` for sequential elements (timing-graph cut points).
@@ -315,6 +319,7 @@ mod tests {
         let mut seen = vec![false; GateFn::ALL.len()];
         for &g in &GateFn::ALL {
             let i = g.one_hot_index();
+            assert_eq!(GateFn::ALL[i], g, "ALL must stay in declaration order");
             assert!(!seen[i]);
             seen[i] = true;
         }

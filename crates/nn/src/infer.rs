@@ -62,6 +62,7 @@ impl InferCtx {
 
     /// Starts a new forward pass: previously returned [`Val`]s become
     /// invalid, but every buffer (and its capacity) is retained for reuse.
+    // rtt-lint: hot
     pub fn reset(&self) {
         self.live.set(0);
     }
@@ -96,6 +97,7 @@ impl InferCtx {
     /// The buffers are taken out of the context for the duration of `f`;
     /// nesting `with_scratch` inside `f` hands out a fresh (empty) pool,
     /// so callers should take everything they need in one call.
+    // rtt-lint: hot
     pub fn with_scratch<R>(
         &self,
         n: usize,
@@ -104,6 +106,7 @@ impl InferCtx {
         let mut pool = {
             let mut p = self.scratch.borrow_mut();
             if p.len() < n {
+                // rtt-lint: allow(P001, reason = "pool grows to the pass's op count once; growth is tallied on nn::infer_arena_bytes")
                 p.resize_with(n, Tensor::default);
             }
             mem::take(&mut *p)
@@ -151,6 +154,7 @@ impl InferCtx {
             let slots = self.slots.borrow();
             f(&slots, &mut out);
         }
+        crate::sanitize::check_finite("infer_op", &out);
         self.grew((out.capacity() - cap0) * 4);
         self.slots.borrow_mut()[idx] = out;
         self.live.set(idx + 1);
@@ -160,6 +164,7 @@ impl InferCtx {
     /// Records `bytes` of fresh allocation growth on the global
     /// `nn::infer_arena_bytes` counter. Zero in the steady state, so the
     /// atomic is only touched while the arena is still warming up.
+    // rtt-lint: hot
     fn grew(&self, bytes: usize) {
         static ARENA_BYTES: rtt_obs::Counter = rtt_obs::Counter::new("nn::infer_arena_bytes");
         if bytes > 0 {

@@ -51,6 +51,7 @@ impl Linear {
     /// # Panics
     ///
     /// Panics if the input width mismatches.
+    // rtt-lint: hot
     pub fn forward_into(&self, store: &ParamStore, x: &Tensor, out: &mut Tensor) {
         ops::matmul(x, store.value(self.w), out);
         ops::add_row_in_place(out, store.value(self.b).data());
@@ -62,6 +63,10 @@ impl Linear {
 #[derive(Clone, Debug)]
 pub struct Mlp {
     layers: Vec<Linear>,
+    // Cached from `widths` at construction so the dim accessors stay
+    // panic-free on the serving path (R003).
+    in_dim: usize,
+    out_dim: usize,
 }
 
 impl Mlp {
@@ -73,7 +78,7 @@ impl Mlp {
     pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, widths: &[usize]) -> Self {
         assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
         let layers = widths.windows(2).map(|w| Linear::new(store, rng, w[0], w[1])).collect();
-        Self { layers }
+        Self { layers, in_dim: widths[0], out_dim: widths[widths.len() - 1] }
     }
 
     /// Builds an MLP whose *final* layer is initialized `output_scale`
@@ -90,22 +95,23 @@ impl Mlp {
         output_scale: f32,
     ) -> Self {
         let mlp = Self::new(store, rng, widths);
-        let last = mlp.layers.last().expect("nonempty");
-        store.value_mut(last.w).scale_assign(output_scale);
-        for v in store.value_mut(last.b).data_mut() {
-            *v = 0.02;
+        if let Some(last) = mlp.layers.last() {
+            store.value_mut(last.w).scale_assign(output_scale);
+            for v in store.value_mut(last.b).data_mut() {
+                *v = 0.02;
+            }
         }
         mlp
     }
 
     /// Input width.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().expect("nonempty").in_dim()
+        self.in_dim
     }
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("nonempty").out_dim()
+        self.out_dim
     }
 
     /// Applies all layers with ReLU on every hidden activation (the output
@@ -124,6 +130,7 @@ impl Mlp {
     /// Tape-free forward through all layers into `out`, ping-ponging the
     /// hidden activations between `tmp0` and `tmp1` with in-place ReLU.
     /// Bit-identical to [`Mlp::forward`] (same kernels, same order).
+    // rtt-lint: hot
     pub fn forward_into(
         &self,
         store: &ParamStore,
@@ -192,6 +199,7 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    // rtt-lint: hot
     pub fn forward_into(&self, store: &ParamStore, x: &Tensor, col: &mut Tensor, out: &mut Tensor) {
         ops::conv2d(x, store.value(self.w), self.pad, col, out);
         ops::add_channel_in_place(out, store.value(self.b).data());

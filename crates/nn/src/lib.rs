@@ -62,6 +62,7 @@ mod layers;
 pub mod ops;
 mod optim;
 pub mod parallel;
+pub mod sanitize;
 mod store;
 mod tape;
 mod tensor;

@@ -29,6 +29,7 @@ const GATHER_PAR_ELEMS: usize = 1 << 14;
 /// # Panics
 ///
 /// Panics if inner dimensions mismatch.
+// rtt-lint: hot
 pub fn matmul(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     a.matmul_into(b, out);
 }
@@ -367,6 +368,7 @@ pub fn concat_rows(a: &Tensor, b: &Tensor, out: &mut Tensor) {
 /// # Panics
 ///
 /// Panics on row mismatch.
+// rtt-lint: hot
 pub fn concat_cols(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(a.rows(), b.rows(), "concat_cols row mismatch");
     let (m, p, q) = (a.rows(), a.cols(), b.cols());
@@ -386,6 +388,7 @@ pub fn concat_cols(a: &Tensor, b: &Tensor, out: &mut Tensor) {
 ///
 /// Panics on rank/shape mismatch or if the kernel exceeds the padded
 /// input.
+// rtt-lint: hot
 pub fn conv2d(x: &Tensor, w: &Tensor, pad: usize, col: &mut Tensor, out: &mut Tensor) {
     let (cin, h, wd) = rank3(x);
     let ws = w.shape();
@@ -404,8 +407,10 @@ pub fn conv2d(x: &Tensor, w: &Tensor, pad: usize, col: &mut Tensor, out: &mut Te
     // (padding taps contribute exact zeros), so values match the naive
     // kernel.
     im2col(x, kh, kw, pad, oh, ow, col);
-    let w2d = Tensor::from_vec(&[cout, cin * kh * kw], w.data().to_vec());
-    w2d.matmul_into(col, out);
+    // The [Cout, Cin, kh, kw] weight is already laid out row-major as the
+    // [Cout, Cin·kh·kw] matrix the product needs — multiply through the
+    // shape-only view instead of copying the weights every call.
+    w.matmul_view_into(cout, cin * kh * kw, col, out);
     out.reshape_in_place(&[cout, oh, ow]);
 }
 
@@ -416,13 +421,18 @@ pub fn conv2d(x: &Tensor, w: &Tensor, pad: usize, col: &mut Tensor, out: &mut Te
 /// # Panics
 ///
 /// Panics if `size` does not divide H and W.
+// rtt-lint: hot
 pub fn maxpool2d(x: &Tensor, size: usize, out: &mut Tensor, argmax: &mut Vec<u32>) {
     let (c, h, w) = rank3(x);
     assert!(size > 0 && h % size == 0 && w % size == 0, "pool must tile the map");
     let (oh, ow) = (h / size, w / size);
     out.reset(&[c, oh, ow], f32::NEG_INFINITY);
     argmax.clear();
+    // rtt-lint: allow(P001, reason = "argmax scratch warms once; clear+resize reuses capacity")
     argmax.resize(c * oh * ow, 0u32);
+    // Pin the scratch length so LLVM can hoist the `argmax[oi]` bounds
+    // check out of the window loop.
+    assert_eq!(argmax.len(), c * oh * ow);
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -452,6 +462,7 @@ pub fn maxpool2d(x: &Tensor, size: usize, out: &mut Tensor, argmax: &mut Vec<u32
 /// # Panics
 ///
 /// Panics if an index is out of range or `src` is not a matrix.
+// rtt-lint: hot
 pub fn gather_rows_flat(src: &Tensor, idx: &[u32], out: &mut Tensor) {
     let d = src.cols();
     if idx.is_empty() {
@@ -478,6 +489,7 @@ pub fn gather_rows_flat(src: &Tensor, idx: &[u32], out: &mut Tensor) {
 /// # Panics
 ///
 /// Panics if a row index is out of range or column counts differ.
+// rtt-lint: hot
 pub fn scatter_rows(src: &Tensor, src_row0: usize, dst_rows: &[u32], dst: &mut Tensor) {
     let d = src.cols();
     assert_eq!(dst.cols(), d, "scatter_rows column mismatch");
@@ -500,6 +512,7 @@ pub fn scatter_rows(src: &Tensor, src_row0: usize, dst_rows: &[u32], dst: &mut T
 /// # Panics
 ///
 /// Panics if `seg_off` is not a valid CSR offset array over `src`'s rows.
+// rtt-lint: hot
 pub fn segment_max_csr(src: &Tensor, seg_off: &[u32], out: &mut Tensor) {
     let n = seg_off.len().saturating_sub(1);
     let d = src.cols();
@@ -552,6 +565,7 @@ pub fn segment_max_csr(src: &Tensor, seg_off: &[u32], out: &mut Tensor) {
 /// # Panics
 ///
 /// Panics if `seg_off` is not a valid CSR offset array over `src`'s rows.
+// rtt-lint: hot
 pub fn segment_sum_csr(src: &Tensor, seg_off: &[u32], out: &mut Tensor) {
     let n = seg_off.len().saturating_sub(1);
     let d = src.cols();
@@ -582,6 +596,7 @@ pub fn segment_sum_csr(src: &Tensor, seg_off: &[u32], out: &mut Tensor) {
 
 /// In-place rectified linear unit (same values as [`relu`] minus the
 /// copy).
+// rtt-lint: hot
 pub fn relu_in_place(x: &mut Tensor) {
     for v in x.data_mut() {
         *v = v.max(0.0);
@@ -590,6 +605,7 @@ pub fn relu_in_place(x: &mut Tensor) {
 
 /// Hyperbolic tangent written directly into `out` (same values as
 /// [`tanh`], but the source stays intact for a later residual add).
+// rtt-lint: hot
 pub fn tanh_to(src: &Tensor, out: &mut Tensor) {
     out.reset_for_overwrite(src.shape());
     for (o, &v) in out.data_mut().iter_mut().zip(src.data()) {
@@ -603,6 +619,7 @@ pub fn tanh_to(src: &Tensor, out: &mut Tensor) {
 /// # Panics
 ///
 /// Panics if `row.len() != x.cols()`.
+// rtt-lint: hot
 pub fn add_row_in_place(x: &mut Tensor, row: &[f32]) {
     assert_eq!(x.cols(), row.len(), "bias width mismatch");
     let n = row.len();
@@ -619,6 +636,7 @@ pub fn add_row_in_place(x: &mut Tensor, row: &[f32]) {
 /// # Panics
 ///
 /// Panics if `bias.len() != C`.
+// rtt-lint: hot
 pub fn add_channel_in_place(x: &mut Tensor, bias: &[f32]) {
     let (c, h, w) = rank3(x);
     assert_eq!(bias.len(), c, "one bias per channel");
@@ -635,6 +653,7 @@ pub fn add_channel_in_place(x: &mut Tensor, bias: &[f32]) {
 /// # Panics
 ///
 /// Panics if `row.len() != x.cols()`.
+// rtt-lint: hot
 pub fn mul_row_in_place(x: &mut Tensor, row: &[f32]) {
     assert_eq!(x.cols(), row.len(), "row width mismatch");
     let n = row.len();
@@ -652,6 +671,7 @@ pub fn mul_row_in_place(x: &mut Tensor, row: &[f32]) {
 /// # Panics
 ///
 /// Panics if the row range is out of bounds or columns differ.
+// rtt-lint: hot
 pub fn add_rows_range(x: &mut Tensor, src: &Tensor, src_row0: usize) {
     let d = x.cols();
     assert_eq!(src.cols(), d, "add_rows_range column mismatch");
@@ -668,6 +688,7 @@ pub fn add_rows_range(x: &mut Tensor, src: &Tensor, src_row0: usize) {
 /// # Panics
 ///
 /// Panics if `factors.len() != x.rows()`.
+// rtt-lint: hot
 pub fn scale_rows_in_place(x: &mut Tensor, factors: &[f32]) {
     assert_eq!(factors.len(), x.rows());
     let d = x.cols();

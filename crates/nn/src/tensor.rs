@@ -228,6 +228,7 @@ impl Tensor {
             self.data.len()
         );
         self.shape.clear();
+        // rtt-lint: allow(P001, reason = "rank<=4 shape vec reuses capacity after the first call")
         self.shape.extend_from_slice(shape);
     }
 
@@ -242,8 +243,10 @@ impl Tensor {
     pub fn reset(&mut self, shape: &[usize], v: f32) {
         assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
         self.shape.clear();
+        // rtt-lint: allow(P001, reason = "clear+extend/resize reuse capacity; growth is the arena warm-up, tallied on nn::infer_arena_bytes")
         self.shape.extend_from_slice(shape);
         self.data.clear();
+        // rtt-lint: allow(P001, reason = "clear+resize reuses capacity; growth is the arena warm-up, tallied on nn::infer_arena_bytes")
         self.data.resize(self.shape.iter().product(), v);
     }
 
@@ -261,9 +264,11 @@ impl Tensor {
         assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
         let vol = shape.iter().product::<usize>();
         self.shape.clear();
+        // rtt-lint: allow(P001, reason = "clear+extend/resize reuse capacity; growth is the arena warm-up, tallied on nn::infer_arena_bytes")
         self.shape.extend_from_slice(shape);
         if self.data.len() != vol {
             self.data.clear();
+            // rtt-lint: allow(P001, reason = "clear+resize reuses capacity; growth is the arena warm-up, tallied on nn::infer_arena_bytes")
             self.data.resize(vol, 0.0);
         }
     }
@@ -307,7 +312,26 @@ impl Tensor {
     ///
     /// Panics if inner dimensions mismatch.
     pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
-        let (m, k) = (self.rows(), self.cols());
+        self.matmul_view_into(self.rows(), self.cols(), other, out);
+    }
+
+    /// [`Tensor::matmul_into`] with `self` reinterpreted as an `[m, k]`
+    /// matrix without copying — the shape-only view conv2d needs for its
+    /// im2col product, where the `[Cout, Cin, kh, kw]` weight is already
+    /// laid out as `[Cout, Cin·kh·kw]` row-major. Bit-identical to
+    /// reshaping first (same kernel, same accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m·k` differs from the element count or inner dimensions
+    /// mismatch.
+    pub fn matmul_view_into(&self, m: usize, k: usize, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            m * k,
+            self.data.len(),
+            "view [{m}, {k}] does not hold {} elements",
+            self.data.len()
+        );
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul {m}x{k} by {k2}x{n}");
         static MATMUL_CALLS: rtt_obs::Counter = rtt_obs::Counter::new("nn::matmul_calls");

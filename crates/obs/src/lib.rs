@@ -135,6 +135,7 @@ pub fn reset() {
 
 fn static_counters() -> &'static Mutex<Vec<&'static Counter>> {
     static STATICS: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+    // rtt-lint: allow(P001, reason = "registry vec is created once per process, not per call")
     STATICS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -174,6 +175,7 @@ impl Counter {
             // Double-checked under the lock so a racing first add cannot
             // register the counter twice.
             if !self.registered.load(Ordering::Relaxed) {
+                // rtt-lint: allow(P001, reason = "lazy registration runs once per counter name")
                 statics.push(self);
                 self.registered.store(true, Ordering::Release);
             }

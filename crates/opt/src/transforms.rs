@@ -133,9 +133,9 @@ pub fn decompose_gate(
         sources.push(src);
     }
 
-    // Detach the original cell completely first.
-    for &p in inputs_by_arrival {
-        let src = nl.pin(p).net.expect("checked above");
+    // Detach the original cell completely first, using the source nets
+    // collected above (same order as `inputs_by_arrival`).
+    for (&p, &src) in inputs_by_arrival.iter().zip(&sources) {
         nl.disconnect_sink(src, p)?;
     }
     let out_sinks = nl.net(out_net).sinks.clone();
@@ -172,7 +172,12 @@ pub fn decompose_gate(
         prev_out = Some(o);
         new_cells.push(c);
     }
-    let last_out = prev_out.expect("k >= 3 creates at least one gate");
+    // k >= 3 (AND3/AND4/OR3/OR4) always creates at least one gate; a miss
+    // here is a library-contract bug, reported as a typed error rather
+    // than a panic.
+    let Some(last_out) = prev_out else {
+        return Err(TransformError::NotApplicable("gate has fewer than three inputs"));
+    };
     nl.connect_net(format!("opt_n{}", nl.net_capacity()), last_out, &out_sinks)?;
 
     nl.remove_cell(cell)?;
@@ -304,7 +309,9 @@ pub fn split_high_fanout(
             .iter()
             .map(|&s| (s, driver_pos.manhattan(placement.pin_position(nl, s))))
             .collect();
-        sinks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+        // total_cmp orders identically to partial_cmp on the finite
+        // Manhattan distances here, without the unwrap on NaN.
+        sinks.sort_by(|a, b| b.1.total_cmp(&a.1));
         let group: Vec<PinId> = sinks.iter().take(max_fanout).map(|(s, _)| *s).collect();
         let centroid = {
             let (mut x, mut y) = (0.0f32, 0.0f32);
@@ -354,11 +361,21 @@ pub fn prune_dangling(nl: &mut Netlist, library: &CellLibrary) -> usize {
             let inputs = nl.cell(cid).inputs.clone();
             for p in inputs {
                 if let Some(net) = nl.pin(p).net {
-                    disconnect_and_prune(nl, net, p).expect("pin is on its net");
+                    // The pin was just read off this net, so the
+                    // disconnect cannot miss.
+                    let pruned = disconnect_and_prune(nl, net, p);
+                    debug_assert!(pruned.is_ok(), "pin {p} is on net {net}");
                 }
             }
-            nl.remove_cell(cid).expect("fully disconnected");
-            removed += 1;
+            match nl.remove_cell(cid) {
+                Ok(_) => removed += 1,
+                Err(e) => {
+                    // Unreachable by the disconnect loop above; bail out
+                    // rather than rediscovering the stuck cell forever.
+                    debug_assert!(false, "cell {cid} was fully disconnected: {e:?}");
+                    return removed;
+                }
+            }
         }
     }
 }

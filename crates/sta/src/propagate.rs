@@ -128,12 +128,19 @@ pub fn run_sta(
                     }
                 }
             }
-            EdgeKind::Cell => {
-                let cell = e.cell.expect("cell edges carry their cell");
-                let ty = library.cell_type(netlist.cell(cell).type_id);
-                let out = netlist.cell(cell).output;
-                ty.intrinsic_ps + ty.drive_res_kohm * load_of(out)
-            }
+            EdgeKind::Cell => match e.cell {
+                Some(cell) => {
+                    let ty = library.cell_type(netlist.cell(cell).type_id);
+                    let out = netlist.cell(cell).output;
+                    ty.intrinsic_ps + ty.drive_res_kohm * load_of(out)
+                }
+                None => {
+                    // TimingGraph construction attaches the cell id to
+                    // every cell edge; zero delay is the safe fallback.
+                    debug_assert!(false, "cell edge {}->{} lost its cell id", e.from, e.to);
+                    0.0
+                }
+            },
         }
     };
 
@@ -153,16 +160,19 @@ pub fn run_sta(
         }
     };
 
+    // Compute every edge delay once, up front: the max/min/required
+    // passes and the report all read from this cache, and a miss is
+    // structurally impossible because the same edge iterator fills it.
     let mut edge_delay_cache: HashMap<(PinId, PinId), f32> = HashMap::new();
-    let arrival_nodes = propagate(
-        graph,
-        |e| {
-            let d = edge_delay(e);
-            edge_delay_cache.insert((graph.pin_of(e.from), graph.pin_of(e.to)), d);
-            d
-        },
-        source_time,
-    );
+    for e in graph.edges() {
+        edge_delay_cache.insert((graph.pin_of(e.from), graph.pin_of(e.to)), edge_delay(e));
+    }
+    let cached_delay = |from: u32, to: u32| -> f32 {
+        let d = edge_delay_cache.get(&(graph.pin_of(from), graph.pin_of(to))).copied();
+        debug_assert!(d.is_some(), "edge {from}->{to} was cached above");
+        d.unwrap_or(0.0)
+    };
+    let arrival_nodes = propagate(graph, |e| cached_delay(e.from, e.to), source_time);
 
     // Split the cache by edge kind. BTreeMap: the report iterates these,
     // and downstream feature extraction must see a stable order.
@@ -170,7 +180,7 @@ pub fn run_sta(
     let mut cell_edge_delay = BTreeMap::new();
     for e in graph.edges() {
         let key = (graph.pin_of(e.from), graph.pin_of(e.to));
-        let d = edge_delay_cache[&key];
+        let d = cached_delay(e.from, e.to);
         match e.kind {
             EdgeKind::Net => net_edge_delay.insert(key, d),
             EdgeKind::Cell => cell_edge_delay.insert(key, d),
@@ -179,11 +189,7 @@ pub fn run_sta(
 
     // Min-delay (hold) analysis: earliest arrivals over the cached edge
     // delays, checked against the flip-flop hold requirement.
-    let arrival_min_nodes = propagate_min(
-        graph,
-        |e| edge_delay_cache[&(graph.pin_of(e.from), graph.pin_of(e.to))],
-        source_time,
-    );
+    let arrival_min_nodes = propagate_min(graph, |e| cached_delay(e.from, e.to), source_time);
     let mut hold_wns = f32::INFINITY;
     for &v in graph.endpoints() {
         let pin = netlist.pin(graph.pin_of(v));
@@ -208,8 +214,7 @@ pub fn run_sta(
     let order: Vec<u32> = graph.topo_order().collect();
     for &v in order.iter().rev() {
         for e in graph.fanout(v) {
-            let key = (graph.pin_of(e.from), graph.pin_of(e.to));
-            let d = edge_delay_cache[&key];
+            let d = cached_delay(e.from, e.to);
             let r = required_nodes[e.to as usize] - d;
             if r < required_nodes[v as usize] {
                 required_nodes[v as usize] = r;

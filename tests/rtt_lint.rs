@@ -26,6 +26,20 @@ fn workspace_lints_clean() {
 }
 
 #[test]
+fn call_graph_covers_the_serving_surface() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = rtt_lint::lint_workspace(root).expect("lint pass runs");
+    // The serving surface: TimingModel::{predict, predict_with,
+    // predict_batch, predict_many} plus the baselines' predict entry
+    // points. Losing a marker would silently turn R003 off for that path.
+    assert!(report.entry_points >= 7, "only {} entry points annotated", report.entry_points);
+    // The kernel hot set: ops kernels, layer forward_into paths, and the
+    // inference-arena primitives.
+    assert!(report.hot_fns >= 20, "only {} hot fns annotated", report.hot_fns);
+    assert!(report.call_edges > 1_000, "call graph collapsed: {} edges", report.call_edges);
+}
+
+#[test]
 fn baseline_entries_point_at_real_files() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let text = std::fs::read_to_string(root.join("lint-allow.toml")).expect("baseline exists");
