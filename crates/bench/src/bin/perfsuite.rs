@@ -3,7 +3,7 @@
 //! Times the four workloads the parallel execution layer targets — dataset
 //! generation, GNN forward, CNN forward, and one training epoch — once with
 //! one thread and once with all available cores, then writes the results to
-//! `BENCH_PR7.json` in the current directory (and prints them). Every
+//! `BENCH_PR8.json` in the current directory (and prints them). Every
 //! workload is bit-identical across thread counts, so this suite measures
 //! speed only. A `lint` section records the wall time of the full
 //! rtt-lint workspace pass (parse + call graph + reachability).
@@ -22,6 +22,12 @@
 //! batch sizes on the flat CSR kernel path: endpoints/sec at each batch
 //! size, plus pins/sec through the shared GNN pass (every call propagates
 //! the whole graph once, so small batches pay the full pass per call).
+//!
+//! A `serving` section measures the `rtt-serve` daemon end to end on a
+//! loopback socket: requests/sec and p50/p99 request latency under
+//! keep-alive clients, daemon endpoints/sec against the in-process
+//! library path (the HTTP + queue + worker-pool tax), and the resident
+//! `InferCtx` arena bytes per worker. Results land in `BENCH_PR8.json`.
 
 #![allow(clippy::print_stdout)] // reports/tables go to stdout by design
 
@@ -93,6 +99,40 @@ fn prepare_design(cells: usize, seed: u64, cfg: &ModelConfig, lib: &CellLibrary)
     let sta = run_sta(&d.netlist, lib, &graph, WireModel::Routed(&rt), 500.0);
     let targets = sta.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
     PreparedDesign::prepare(&d.netlist, lib, &pl, &graph, cfg, targets)
+}
+
+/// One keep-alive HTTP client: `count` request/response exchanges on a
+/// single connection. Panics with context on any protocol hiccup — this
+/// is a benchmark, not a chaos test, so failures should be loud.
+fn serving_round_trip(addr: std::net::SocketAddr, request: &str, count: usize) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to daemon");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).expect("set read timeout");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    for _ in 0..count {
+        stream.write_all(request.as_bytes()).expect("send request");
+        loop {
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&buf[..head_end]).expect("ascii head");
+                assert!(head.starts_with("HTTP/1.1 200"), "daemon answered: {head}");
+                let body_len: usize = head
+                    .lines()
+                    .filter_map(|l| l.split_once(':'))
+                    .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                    .and_then(|(_, v)| v.trim().parse().ok())
+                    .expect("content-length header");
+                let total = head_end + 4 + body_len;
+                if buf.len() >= total {
+                    buf.drain(..total);
+                    break;
+                }
+            }
+            let n = stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "daemon closed the connection mid-benchmark");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
 }
 
 fn main() {
@@ -203,6 +243,62 @@ fn main() {
         batch_rows.push((bs, s, ep_per_s, pins_per_s));
     }
 
+    // Serving: the same model and design behind the rtt-serve daemon on a
+    // loopback socket. Keep-alive clients hammer /predict; the delta to
+    // the in-process batched figure is the HTTP + queue + worker tax.
+    let serve_clients = 4usize;
+    let reqs_per_client = 24usize;
+    let daemon_workers = cores.min(4).max(1);
+    parallel::set_num_threads(1); // daemon parallelism comes from its worker pool
+    let serve_cfg =
+        rtt_serve::ServeConfig { workers: daemon_workers, ..rtt_serve::ServeConfig::default() };
+    let mut server = rtt_serve::Server::start(
+        serve_cfg,
+        gnn_model.clone(),
+        vec![("perf".to_owned(), gnn_design.clone())],
+    )
+    .expect("daemon binds an ephemeral port");
+    let serve_addr = server.addr();
+    let request =
+        "POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Length: 12\r\n\r\ndesign=perf\n"
+            .to_owned();
+    // Warm every worker's arena before timing.
+    for _ in 0..daemon_workers * 2 {
+        serving_round_trip(serve_addr, &request, 1);
+    }
+    let serve_t0 = Instant::now();
+    let client_handles: Vec<_> = (0..serve_clients)
+        .map(|_| {
+            let request = request.clone();
+            std::thread::spawn(move || serving_round_trip(serve_addr, &request, reqs_per_client))
+        })
+        .collect();
+    for h in client_handles {
+        h.join().expect("client thread");
+    }
+    let serve_wall_s = serve_t0.elapsed().as_secs_f64();
+    let serve_snap = server.stats();
+    let total_reqs = (serve_clients * reqs_per_client) as f64;
+    let serve_rps = total_reqs / serve_wall_s.max(1e-12);
+    let daemon_ep_per_s = total_reqs * n_ep as f64 / serve_wall_s.max(1e-12);
+    let library_ep_per_s = batch_rows.last().map_or(0.0, |&(_, _, ep, _)| ep);
+    let serve_p50 = serve_snap.latency_p50_ms.unwrap_or(0.0);
+    let serve_p99 = serve_snap.latency_p99_ms.unwrap_or(0.0);
+    let arena_per_worker: Vec<u64> = serve_snap.arena_bytes.clone();
+    server.shutdown();
+    println!(
+        "\nserving ({n_ep} endpoints/request, {daemon_workers} workers, {serve_clients} keep-alive clients):\n\
+         {:<22} {serve_rps:>9.1} req/s  {daemon_ep_per_s:>12.0} ep/s\n\
+         {:<22} {serve_p50:>9.3} ms p50  {serve_p99:>9.3} ms p99\n\
+         {:<22} {library_ep_per_s:>12.0} ep/s (1 thread, in-process)\n\
+         {:<22} {:?} bytes resident",
+        "daemon /predict",
+        "request latency",
+        "library predict_batch",
+        "arena per worker",
+        arena_per_worker,
+    );
+
     // Static analysis wall time: the full rtt-lint workspace pass (parse,
     // call graph, reachability) must stay fast enough to sit in tier-1 CI
     // (< 5 s target; see ISSUE acceptance).
@@ -272,6 +368,15 @@ fn main() {
     }
     json.push_str("  ]},\n");
     json.push_str(&format!(
+        "  \"serving\": {{\"endpoints_per_request\": {n_ep}, \"workers\": {daemon_workers}, \
+         \"clients\": {serve_clients}, \"requests\": {}, \"wall_s\": {serve_wall_s:.6}, \
+         \"requests_per_s\": {serve_rps:.1}, \"latency_p50_ms\": {serve_p50:.4}, \
+         \"latency_p99_ms\": {serve_p99:.4}, \"daemon_endpoints_per_s\": {daemon_ep_per_s:.1}, \
+         \"library_endpoints_per_s\": {library_ep_per_s:.1}, \
+         \"arena_resident_bytes_per_worker\": {arena_per_worker:?}}},\n",
+        serve_clients * reqs_per_client,
+    ));
+    json.push_str(&format!(
         "  \"lint\": {{\"wall_s\": {lint_s:.6}, \"files_checked\": {}, \"call_edges\": {}, \
          \"entry_points\": {}, \"hot_fns\": {}}},\n",
         lint_report.files_checked,
@@ -290,6 +395,6 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write("BENCH_PR7.json", json).expect("write BENCH_PR7.json");
-    eprintln!("[written to BENCH_PR7.json]");
+    std::fs::write("BENCH_PR8.json", json).expect("write BENCH_PR8.json");
+    eprintln!("[written to BENCH_PR8.json]");
 }

@@ -51,6 +51,7 @@ mod cnn;
 mod config;
 mod gnn;
 mod model;
+pub mod model_io;
 mod prepare;
 
 pub use cnn::LayoutCnn;

@@ -417,14 +417,21 @@ impl TimingModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if the blob does not match this architecture.
-    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), String> {
+    /// Returns a [`rtt_nn::WeightsError`] if the blob is truncated,
+    /// corrupt, or does not match this architecture. On error the model is
+    /// unchanged — the normalization header is committed only after the
+    /// parameter store accepted the rest of the blob, so a failed load
+    /// (e.g. a corrupt hot-reload) never leaves partial state behind.
+    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), rtt_nn::WeightsError> {
         if bytes.len() < 8 {
-            return Err("weight blob too short".to_owned());
+            return Err(rtt_nn::WeightsError::Truncated { needed: 8, available: bytes.len() });
         }
-        self.target_mean = f32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
-        self.target_std = f32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        self.store.load_bytes(&bytes[8..])
+        let mean = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let std = f32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        self.store.load_bytes(&bytes[8..])?;
+        self.target_mean = mean;
+        self.target_std = std;
+        Ok(())
     }
 }
 

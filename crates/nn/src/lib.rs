@@ -71,6 +71,6 @@ pub use exec::Exec;
 pub use infer::{InferCtx, Val};
 pub use layers::{Conv2d, Linear, Mlp};
 pub use optim::{Adam, Sgd};
-pub use store::{Grads, ParamId, ParamStore};
+pub use store::{Grads, ParamId, ParamStore, WeightsError};
 pub use tape::{mse, Tape, Var};
 pub use tensor::Tensor;

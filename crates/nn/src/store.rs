@@ -1,8 +1,77 @@
 //! Long-lived trainable parameters and gradient collection.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::Tensor;
+
+/// Why a serialized weight blob failed to load.
+///
+/// Deserialization is total: every malformed input maps to one of these
+/// variants, never a panic, and the store is left untouched on error (the
+/// restored tensors are committed only after the whole blob validates).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WeightsError {
+    /// The blob ended before its declared contents (`needed` more bytes
+    /// than the `available` remainder).
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes left in the blob.
+        available: usize,
+    },
+    /// The blob's tensor count differs from the registered parameters.
+    TensorCount {
+        /// Count declared by the blob.
+        blob: usize,
+        /// Count registered in the store.
+        store: usize,
+    },
+    /// A tensor's shape differs from the registered parameter.
+    ShapeMismatch {
+        /// Which tensor (registration order).
+        index: usize,
+        /// Shape declared by the blob.
+        blob: Vec<usize>,
+        /// Shape registered in the store.
+        store: Vec<usize>,
+    },
+    /// A declared dimension is implausibly large (corrupt length field);
+    /// rejected before any allocation is attempted.
+    DimTooLarge {
+        /// Which tensor (registration order).
+        index: usize,
+        /// The offending dimension value.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated weight blob: needed {needed} more bytes, {available} left")
+            }
+            Self::TensorCount { blob, store } => {
+                write!(f, "blob has {blob} tensors, store has {store}")
+            }
+            Self::ShapeMismatch { index, blob, store } => {
+                write!(f, "tensor {index} shape {blob:?} != registered {store:?}")
+            }
+            Self::DimTooLarge { index, dim } => {
+                write!(f, "tensor {index} declares an implausible dimension {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+/// Per-dimension sanity cap for [`ParamStore::load_bytes`]: no real layer
+/// in this workspace comes near it, but a corrupt length field easily
+/// does, and rejecting early avoids attempting a multi-gigabyte
+/// allocation on garbage input.
+const MAX_DIM: usize = 1 << 28;
 
 /// Handle to a parameter in a [`ParamStore`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -89,34 +158,47 @@ impl ParamStore {
     ///
     /// # Errors
     ///
-    /// Returns a message if the blob is truncated or the shapes do not
-    /// match this store's registered parameters.
-    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), String> {
+    /// Returns a [`WeightsError`] if the blob is truncated, declares a
+    /// corrupt dimension, or its shapes do not match this store's
+    /// registered parameters. On error the store is unchanged.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), WeightsError> {
         let mut cur = 0usize;
-        let mut take = |n: usize| -> Result<&[u8], String> {
-            if cur + n > bytes.len() {
-                return Err("truncated parameter blob".to_owned());
+        let mut take = |n: usize| -> Result<&[u8], WeightsError> {
+            // `cur <= bytes.len()` always holds, so the subtraction is safe
+            // and the comparison cannot overflow the way `cur + n` could.
+            if n > bytes.len() - cur {
+                return Err(WeightsError::Truncated { needed: n, available: bytes.len() - cur });
             }
             let s = &bytes[cur..cur + n];
             cur += n;
             Ok(s)
         };
-        let count = le_u32(take(4)?)? as usize;
+        let count = le_u32(take(4)?) as usize;
         if count != self.tensors.len() {
-            return Err(format!("blob has {count} tensors, store has {}", self.tensors.len()));
+            return Err(WeightsError::TensorCount { blob: count, store: self.tensors.len() });
         }
         let mut restored = Vec::with_capacity(count);
         for i in 0..count {
-            let rank = le_u32(take(4)?)? as usize;
+            let rank = le_u32(take(4)?) as usize;
+            if rank > 8 {
+                // A corrupt rank would otherwise drive the dim loop below
+                // through up to 2^32 reads of garbage.
+                return Err(WeightsError::DimTooLarge { index: i, dim: rank });
+            }
             let mut shape = Vec::with_capacity(rank);
             for _ in 0..rank {
-                shape.push(le_u32(take(4)?)? as usize);
+                let d = le_u32(take(4)?) as usize;
+                if d > MAX_DIM {
+                    return Err(WeightsError::DimTooLarge { index: i, dim: d });
+                }
+                shape.push(d);
             }
             if shape != self.tensors[i].shape() {
-                return Err(format!(
-                    "tensor {i} shape {shape:?} != registered {:?}",
-                    self.tensors[i].shape()
-                ));
+                return Err(WeightsError::ShapeMismatch {
+                    index: i,
+                    blob: shape,
+                    store: self.tensors[i].shape().to_vec(),
+                });
             }
             let volume: usize = shape.iter().product();
             let raw = take(volume * 4)?;
@@ -130,10 +212,12 @@ impl ParamStore {
     }
 }
 
-/// Decodes a little-endian u32 from a slice that must be exactly 4 bytes.
-fn le_u32(s: &[u8]) -> Result<u32, String> {
-    let arr: [u8; 4] = s.try_into().map_err(|_| "internal: expected a 4-byte slice".to_owned())?;
-    Ok(u32::from_le_bytes(arr))
+/// Decodes a little-endian u32 from a slice of at least 4 bytes (callers
+/// obtain it from `take(4)`, which guarantees the length).
+fn le_u32(s: &[u8]) -> u32 {
+    let mut arr = [0u8; 4];
+    arr.copy_from_slice(&s[..4]);
+    u32::from_le_bytes(arr)
 }
 
 /// Gradients produced by [`crate::Tape::backward`].

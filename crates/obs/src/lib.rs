@@ -342,6 +342,92 @@ pub fn series_push(name: &str, value: f64) {
     lock().series.entry(name.to_owned()).or_default().push(value);
 }
 
+/// A bounded, thread-safe sample ring for live quantile queries — the
+/// serving layer's latency series.
+///
+/// Unlike [`series_push`], whose series grow without bound (fine for
+/// per-epoch loss curves, fatal for per-request latencies under heavy
+/// traffic), a `Ring` keeps only the most recent `capacity` samples and
+/// overwrites the oldest. `push` is one short mutex hold and no
+/// allocation after construction, so it can sit on a request hot path;
+/// `quantile` copies the window out and sorts, so it belongs on query
+/// paths (`/stats`), not hot ones.
+#[derive(Debug)]
+pub struct Ring {
+    inner: Mutex<RingInner>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    buf: Vec<f64>,
+    /// Next write position (wraps at `buf.capacity()`).
+    next: usize,
+    /// Total samples ever pushed (≥ `buf.len()`).
+    count: u64,
+}
+
+impl Ring {
+    /// Creates a ring holding at most `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(RingInner {
+                buf: Vec::with_capacity(capacity.max(1)),
+                next: 0,
+                count: 0,
+            }),
+        }
+    }
+
+    /// Records one sample, evicting the oldest once full.
+    pub fn push(&self, value: f64) {
+        let mut r = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if r.buf.len() < r.buf.capacity() {
+            r.buf.push(value);
+        } else {
+            let i = r.next;
+            r.buf[i] = value;
+        }
+        r.next = (r.next + 1) % r.buf.capacity().max(1);
+        r.count += 1;
+    }
+
+    /// Samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).buf.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total samples ever pushed (including evicted ones).
+    pub fn count(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`, nearest-rank) of the current
+    /// window, or `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut window = {
+            let r = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            r.buf.clone()
+        };
+        if window.is_empty() {
+            return None;
+        }
+        window.sort_by(f64::total_cmp);
+        let rank = (q.clamp(0.0, 1.0) * (window.len() - 1) as f64).round() as usize;
+        window.get(rank).copied()
+    }
+
+    /// Largest sample in the current window, or `None` while empty.
+    pub fn max(&self) -> Option<f64> {
+        let r = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        r.buf.iter().copied().max_by(f64::total_cmp)
+    }
+}
+
 /// Copies the current registry contents, merging in every registered
 /// static [`Counter`] with a nonzero value.
 pub fn snapshot() -> Snapshot {
@@ -646,5 +732,27 @@ mod tests {
         for needle in ["spans", "top", "counters:", "gauges:", "series:", "1 points"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn ring_quantiles_over_a_bounded_window() {
+        let ring = Ring::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.quantile(0.5), None);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            ring.push(v);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.quantile(0.0), Some(1.0));
+        assert_eq!(ring.quantile(1.0), Some(4.0));
+        assert_eq!(ring.max(), Some(4.0));
+        // Overflow evicts the oldest: window becomes [5, 2, 3, 4].
+        ring.push(5.0);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.count(), 5);
+        assert_eq!(ring.quantile(0.0), Some(2.0));
+        assert_eq!(ring.max(), Some(5.0));
+        // p50 of [2,3,4,5] at nearest rank: index round(0.5*3) = 2 -> 4.
+        assert_eq!(ring.quantile(0.5), Some(4.0));
     }
 }

@@ -97,7 +97,10 @@ pub fn parse_placement(netlist: &Netlist, text: &str) -> Result<Placement, Place
             continue;
         }
         let mut fields = line.split_whitespace();
-        let kind = fields.next().expect("nonempty line");
+        // The line was trimmed and checked non-empty, so a first field
+        // always exists; stay fallible anyway — this runs on the serving
+        // path (R003).
+        let Some(kind) = fields.next() else { continue };
         let rest: Vec<&str> = fields.collect();
         let num = |s: &str| -> Result<f32, PlacementIoError> {
             s.parse().map_err(|_| PlacementIoError::Malformed {

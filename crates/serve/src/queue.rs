@@ -1,0 +1,133 @@
+//! A bounded, closeable MPMC queue — the daemon's only buffer between
+//! the acceptor and the worker pool.
+//!
+//! The capacity bound is the backpressure mechanism: when the queue is
+//! full, [`Queue::try_push`] hands the item straight back and the
+//! acceptor answers `503` + `Retry-After` inline, so a flood of clients
+//! costs one rejected connection each instead of unbounded memory.
+//! [`Queue::close`] is the shutdown half: pushes start failing, but
+//! waiting poppers drain everything already queued before observing
+//! `None` — exactly the "stop accepting, finish in-flight" drain order
+//! graceful shutdown needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// A bounded multi-producer / multi-consumer queue with explicit close.
+#[derive(Debug)]
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking. Returns the item when the queue is
+    /// full or closed so the caller can reject it explicitly.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available. Returns `None` only once the
+    /// queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes fail, poppers drain what remains
+    /// and then receive `None`. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        drop(inner);
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_rejects_when_full() {
+        let q = Queue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue must hand the item back");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "popping frees a slot");
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Queue::new(4);
+        q.try_push("a").expect("push");
+        q.try_push("b").expect("push");
+        q.close();
+        assert_eq!(q.try_push("c"), Err("c"), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some("a"), "close must not drop queued work");
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "drained + closed ends the stream");
+        assert_eq!(q.pop(), None, "and stays ended");
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(Queue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(7).expect("push");
+        q.close();
+        let mut got: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+}

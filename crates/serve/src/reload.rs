@@ -1,0 +1,132 @@
+//! Model hot-swap behind an `Arc` generation pointer.
+//!
+//! Workers never hold a lock across inference: they grab the current
+//! [`ModelState`] `Arc` once per request (one `RwLock` read + `Arc`
+//! clone) and run on that snapshot even if a reload lands mid-request.
+//! A reload parses and validates the **entire** candidate — container
+//! checksum, config compatibility, weight shapes — before the pointer
+//! moves, so a truncated, bit-flipped, or mismatched file can never
+//! leave the daemon in a partial state: the old model keeps serving and
+//! the typed error surfaces on `/stats`.
+
+use std::fmt;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use rtt_core::model_io::{self, ModelIoError};
+use rtt_core::TimingModel;
+
+/// An immutable model snapshot plus its reload generation.
+#[derive(Debug)]
+pub struct ModelState {
+    /// The model serving this generation.
+    pub model: TimingModel,
+    /// Monotonic reload counter; generation 1 is the boot model.
+    pub generation: u64,
+}
+
+/// Why a hot-reload was refused (the old model keeps serving).
+#[derive(Debug, PartialEq)]
+pub enum ReloadError {
+    /// The candidate file failed container validation.
+    Parse(ModelIoError),
+    /// The candidate parsed but its config differs from the serving
+    /// config. Prepared designs bake in the serving config's mask grid,
+    /// so a config change requires a restart, not a hot swap.
+    ConfigMismatch,
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "model file rejected: {e}"),
+            Self::ConfigMismatch => {
+                f.write_str("model config differs from serving config; restart to change configs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// The swap point: one `RwLock<Arc<..>>` shared by every worker.
+#[derive(Debug)]
+pub struct ModelSwap {
+    state: RwLock<Arc<ModelState>>,
+}
+
+impl ModelSwap {
+    /// Wraps the boot model as generation 1.
+    pub fn new(model: TimingModel) -> Self {
+        Self { state: RwLock::new(Arc::new(ModelState { model, generation: 1 })) }
+    }
+
+    /// The current snapshot. Cheap: a read lock and an `Arc` clone.
+    pub fn current(&self) -> Arc<ModelState> {
+        Arc::clone(&self.state.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Validates `bytes` as a complete model container and, on success,
+    /// atomically swaps it in, returning the new generation. On any
+    /// error the serving model is untouched.
+    pub fn reload_from_bytes(&self, bytes: &[u8]) -> Result<u64, ReloadError> {
+        let candidate = model_io::load_model(bytes).map_err(ReloadError::Parse)?;
+        let mut slot = self.state.write().unwrap_or_else(PoisonError::into_inner);
+        if candidate.config() != slot.model.config() {
+            return Err(ReloadError::ConfigMismatch);
+        }
+        let generation = slot.generation + 1;
+        *slot = Arc::new(ModelState { model: candidate, generation });
+        Ok(generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_core::ModelConfig;
+
+    #[test]
+    fn good_reload_bumps_generation() {
+        let cfg = ModelConfig::tiny();
+        let swap = ModelSwap::new(TimingModel::new(cfg.clone()));
+        assert_eq!(swap.current().generation, 1);
+        let candidate = TimingModel::new(cfg);
+        let gen = swap
+            .reload_from_bytes(&model_io::save_model(&candidate))
+            .expect("compatible model reloads");
+        assert_eq!(gen, 2);
+        assert_eq!(swap.current().generation, 2);
+    }
+
+    #[test]
+    fn corrupt_bytes_keep_the_old_model() {
+        let swap = ModelSwap::new(TimingModel::new(ModelConfig::tiny()));
+        let before = swap.current();
+        let mut bytes = model_io::save_model(&before.model);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = swap.reload_from_bytes(&bytes).expect_err("corrupt file must be refused");
+        assert!(matches!(err, ReloadError::Parse(_)), "{err}");
+        let after = swap.current();
+        assert_eq!(after.generation, 1, "generation unchanged");
+        assert!(Arc::ptr_eq(&before, &after), "same Arc keeps serving");
+
+        bytes.truncate(7);
+        let err = swap.reload_from_bytes(&bytes).expect_err("truncated file must be refused");
+        assert!(matches!(err, ReloadError::Parse(_)), "{err}");
+        assert_eq!(swap.current().generation, 1);
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let cfg = ModelConfig::tiny();
+        let swap = ModelSwap::new(TimingModel::new(cfg.clone()));
+        let bigger = ModelConfig { embed_dim: cfg.embed_dim * 2, ..cfg };
+        let candidate = TimingModel::new(bigger);
+        let err = swap
+            .reload_from_bytes(&model_io::save_model(&candidate))
+            .expect_err("config change must not hot-swap");
+        assert_eq!(err, ReloadError::ConfigMismatch);
+        assert_eq!(swap.current().generation, 1);
+    }
+}

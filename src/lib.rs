@@ -18,6 +18,7 @@
 //! | [`model`] | `rtt-core` | the endpoint-embedding multimodal model |
 //! | [`baselines`] | `rtt-baselines` | DAC19 / DAC22-he / DAC22-guo |
 //! | [`flow`] | `rtt-flow` | dataset generation, metrics, table experiments |
+//! | [`serve`] | `rtt-serve` | fault-tolerant HTTP prediction daemon |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use rtt_obs as obs;
 pub use rtt_opt as opt;
 pub use rtt_place as place;
 pub use rtt_route as route;
+pub use rtt_serve as serve;
 pub use rtt_sta as sta;
 
 /// The most common imports, for examples and quick experiments.

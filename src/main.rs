@@ -11,7 +11,8 @@
 //! file; `sta` re-imports such files and reports sign-off timing; `opt`
 //! runs the restructuring optimizer and writes the optimized design back
 //! out; `flow` runs the paper's two-flow comparison and prints a Table-I
-//! style summary for one design.
+//! style summary for one design; `serve` exposes a trained model as a
+//! fault-tolerant HTTP prediction daemon (see `rtt-serve`).
 
 #![allow(clippy::print_stdout)] // reports/tables go to stdout by design
 
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "flow" => cmd_flow(&opts),
         "train" => cmd_train(&opts),
         "predict" => cmd_predict(&opts),
+        "serve" => cmd_serve(&opts),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -88,6 +90,8 @@ fn usage() {
          \x20 flow --design NAME [--scale tiny|small|paper]\n\
          \x20 train   [--scale S] [--epochs N] --weights FILE\n\
          \x20 predict --netlist FILE.v --placement FILE.place --weights FILE\n\
+         \x20 serve   --weights FILE [--addr HOST:PORT] [--workers N]\n\
+         \x20         [--netlist FILE.v --placement FILE.place [--name NAME]]\n\
          \n\
          every command also accepts:\n\
          \x20 --trace           print the span tree (counts, wall time, counters) to stderr\n\
@@ -278,20 +282,38 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         let r2 = restructure_timing::flow::r2_score(&model.predict(&prep), &d.endpoint_targets());
         println!("held-out {:<10} R² = {r2:.4}", d.name);
     }
-    std::fs::write(&weights_path, model.save_weights())
+    // The versioned container (magic + config + checksum) rather than the
+    // raw weight blob: `predict`/`serve` recover the architecture from the
+    // file itself, and corruption is caught with a typed error instead of
+    // a shape mismatch deep in the loader.
+    std::fs::write(&weights_path, restructure_timing::model::model_io::save_model(&model))
         .map_err(|e| format!("{}: {e}", weights_path.display()))?;
     println!("wrote weights to {}", weights_path.display());
     Ok(())
 }
 
+/// Loads a model file: the versioned `RTTM` container (architecture comes
+/// from the file), falling back to the legacy raw weight blob, whose
+/// architecture must be supplied via `--scale`.
+fn load_model_file(path: &str, scale: Scale) -> Result<TimingModel, String> {
+    use restructure_timing::model::model_io::{load_model, ModelIoError};
+    let blob = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    match load_model(&blob) {
+        Ok(model) => Ok(model),
+        Err(ModelIoError::BadMagic) => {
+            let mut model = TimingModel::new(model_config_for(scale));
+            model.load_weights(&blob).map_err(|e| format!("{path}: legacy weight blob: {e}"))?;
+            Ok(model)
+        }
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
 fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
     let scale = opt_scale(opts)?;
     let (lib, netlist, placement) = load_design(opts)?;
-    let weights_path = required(opts, "weights")?;
-    let blob = std::fs::read(weights_path).map_err(|e| format!("{weights_path}: {e}"))?;
-    let cfg = model_config_for(scale);
-    let mut model = TimingModel::new(cfg.clone());
-    model.load_weights(&blob).map_err(|e| format!("{weights_path}: {e}"))?;
+    let model = load_model_file(required(opts, "weights")?, scale)?;
+    let cfg = model.config().clone();
 
     let graph = TimingGraph::build(&netlist, &lib);
     let prep = PreparedDesign::prepare(
@@ -313,6 +335,66 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
         "predicted {} endpoints in {secs:.3} s ({:.0} endpoints/s, tape-free)",
         pred.len(),
         pred.len() as f64 / secs.max(1e-9)
+    );
+    Ok(())
+}
+
+/// `serve` — run the fault-tolerant prediction daemon until a client
+/// POSTs `/shutdown` (or the process is killed). Designs can be seeded
+/// from the command line and added at runtime via `POST /load`; fault
+/// injection is enabled by the `RTT_FAULTS` environment variable.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    use restructure_timing::serve::{FaultPlan, ServeConfig, Server};
+
+    let scale = opt_scale(opts)?;
+    let weights_path = required(opts, "weights")?;
+    let model = load_model_file(weights_path, scale)?;
+    let cfg = model.config().clone();
+
+    let mut designs = Vec::new();
+    if opts.contains_key("netlist") {
+        let (lib, netlist, placement) = load_design(opts)?;
+        let graph =
+            TimingGraph::try_build(&netlist, &lib).map_err(|e| format!("timing graph: {e}"))?;
+        let targets = vec![0.0; graph.endpoints().len()];
+        let prep = PreparedDesign::prepare(&netlist, &lib, &placement, &graph, &cfg, targets);
+        let name = match opts.get("name") {
+            Some(n) if !n.is_empty() => n.clone(),
+            _ => netlist.name.clone(),
+        };
+        println!("registered design `{name}` ({} endpoints)", graph.endpoints().len());
+        designs.push((name, prep));
+    }
+
+    let mut serve_cfg = ServeConfig {
+        weights_path: Some(PathBuf::from(weights_path)),
+        faults: FaultPlan::from_env(),
+        ..ServeConfig::default()
+    };
+    if let Some(addr) = opts.get("addr") {
+        if !addr.is_empty() {
+            serve_cfg.addr = addr.clone();
+        }
+    }
+    if let Some(workers) = opts.get("workers") {
+        serve_cfg.workers = workers.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if serve_cfg.faults.active() {
+        eprintln!("fault injection active (RTT_FAULTS)");
+    }
+
+    let mut server = Server::start(serve_cfg, model, designs).map_err(|e| format!("bind: {e}"))?;
+    println!("serving on http://{}/ (POST /shutdown to stop)", server.addr());
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let report = server.shutdown();
+    println!(
+        "drained: {} requests, {} endpoints predicted, {} reload(s), {} queue rejection(s)",
+        report.stats.requests,
+        report.stats.endpoints_predicted,
+        report.stats.reloads_ok,
+        report.stats.queue_rejections
     );
     Ok(())
 }

@@ -1,0 +1,223 @@
+//! Tier-1 smoke test for the prediction daemon: ephemeral port, HTTP
+//! predictions bit-exact against the library path, hot-reload swapping
+//! real weights, runtime design registration, and a clean drain.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use restructure_timing::model::model_io::save_model;
+use restructure_timing::netlist::write_verilog;
+use restructure_timing::place::write_placement;
+use restructure_timing::prelude::*;
+use restructure_timing::serve::{ServeConfig, Server};
+
+fn fixture(bits: usize) -> (CellLibrary, Netlist, Placement, TimingGraph) {
+    let lib = CellLibrary::asap7_like();
+    let nl = ripple_carry_adder(bits, &lib);
+    let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+    let graph = TimingGraph::build(&nl, &lib);
+    (lib, nl, pl, graph)
+}
+
+fn prepared(
+    lib: &CellLibrary,
+    nl: &Netlist,
+    pl: &Placement,
+    graph: &TimingGraph,
+    cfg: &ModelConfig,
+) -> PreparedDesign {
+    let targets = vec![0.0f32; graph.endpoints().len()];
+    PreparedDesign::prepare(nl, lib, pl, graph, cfg, targets)
+}
+
+/// Minimal blocking HTTP client: one request, one parsed response.
+fn http(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.write_all(raw).expect("send request");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((status, head_len, body_len)) = head(&buf) {
+            if buf.len() >= head_len + body_len {
+                return (status, buf[head_len..head_len + body_len].to_vec());
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("connection closed before a full response"),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+}
+
+fn head(buf: &[u8]) -> Option<(u16, usize, usize)> {
+    let end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let text = std::str::from_utf8(&buf[..end]).ok()?;
+    let status = text.split(' ').nth(1)?.parse().ok()?;
+    let body_len = text
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))?
+        .1
+        .trim()
+        .parse()
+        .ok()?;
+    Some((status, end, body_len))
+}
+
+fn get(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").into_bytes()
+}
+
+fn post(path: &str, headers: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n{headers}Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+fn predict_bits(body: &[u8]) -> (u64, Vec<u32>) {
+    let text = std::str::from_utf8(body).expect("utf-8 predict body");
+    let mut lines = text.lines();
+    let n: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("n="))
+        .and_then(|v| v.parse().ok())
+        .expect("n= line");
+    let generation: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("generation="))
+        .and_then(|v| v.parse().ok())
+        .expect("generation= line");
+    let bits: Vec<u32> = lines.map(|l| l.parse::<f32>().expect("float line").to_bits()).collect();
+    assert_eq!(bits.len(), n);
+    (generation, bits)
+}
+
+fn bits_of(preds: &[f32]) -> Vec<u32> {
+    preds.iter().map(|p| p.to_bits()).collect()
+}
+
+#[test]
+fn daemon_serves_bit_exact_predictions_reloads_and_drains() {
+    let (lib, nl, pl, graph) = fixture(8);
+    let cfg = ModelConfig::tiny();
+    let prep = prepared(&lib, &nl, &pl, &graph, &cfg);
+    let boot_model = TimingModel::new(cfg.clone());
+
+    // A second model with genuinely different weights, for the reload.
+    let mut trained = TimingModel::new(cfg.clone());
+    {
+        let targets: Vec<f32> = (0..graph.endpoints().len()).map(|i| 50.0 + i as f32).collect();
+        let train_prep = PreparedDesign::prepare(&nl, &lib, &pl, &graph, &cfg, targets);
+        trained.train(&[train_prep], &TrainConfig { epochs: 2, ..TrainConfig::default() });
+    }
+
+    let dir = std::env::temp_dir().join(format!("rtt-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let weights = dir.join("model.rttm");
+    std::fs::write(&weights, save_model(&boot_model)).expect("write boot weights");
+
+    let serve_cfg = ServeConfig { weights_path: Some(weights.clone()), ..ServeConfig::default() };
+    let mut server =
+        Server::start(serve_cfg, boot_model.clone(), vec![("rca".to_owned(), prep.clone())])
+            .expect("daemon starts on an ephemeral port");
+    let addr = server.addr();
+
+    let (status, body) = http(addr, &get("/healthz"));
+    assert_eq!((status, body.as_slice()), (200, &b"ok\n"[..]));
+
+    // Bit-exactness against the library fast path, full and subset.
+    let ctx = restructure_timing::nn::InferCtx::new();
+    let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
+    let expect_all = bits_of(&boot_model.predict_batch(&ctx, &prep, &all));
+    let (status, body) = http(addr, &post("/predict", "", b"design=rca\n"));
+    assert_eq!(status, 200);
+    let (generation, got) = predict_bits(&body);
+    assert_eq!(generation, 1);
+    assert_eq!(got, expect_all, "HTTP predictions must match the library bit-for-bit");
+
+    let subset = [4u32, 0, 9];
+    let expect_subset = bits_of(&boot_model.predict_batch(&ctx, &prep, &subset));
+    let (status, body) = http(addr, &post("/predict", "", b"design=rca\nindices=4,0,9\n"));
+    assert_eq!(status, 200);
+    assert_eq!(predict_bits(&body).1, expect_subset, "index subsets too");
+
+    // Typed client errors, not panics.
+    let (status, _) = http(addr, &post("/predict", "", b"design=missing\n"));
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, &post("/predict", "", b"design=rca\nindices=999999\n"));
+    assert_eq!(status, 422);
+    let (status, _) = http(addr, &get("/nope"));
+    assert_eq!(status, 404);
+
+    // Hot-reload: overwrite the weights file and POST /reload; new
+    // predictions must be bit-exact for the *new* model.
+    std::fs::write(&weights, save_model(&trained)).expect("write trained weights");
+    let (status, body) = http(addr, &post("/reload", "", b""));
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(body, b"generation=2\n");
+    let expect_trained = bits_of(&trained.predict_batch(&ctx, &prep, &all));
+    let (status, body) = http(addr, &post("/predict", "", b"design=rca\n"));
+    assert_eq!(status, 200);
+    let (generation, got) = predict_bits(&body);
+    assert_eq!(generation, 2, "reload must bump the generation");
+    assert_eq!(got, expect_trained, "post-reload predictions use the new weights");
+    assert_ne!(got, expect_all, "the reload really changed the weights");
+
+    // Runtime design registration over HTTP, then predict on it.
+    let (lib2, nl2, pl2, _) = fixture(4);
+    let verilog = write_verilog(&nl2, &lib2);
+    let placement = write_placement(&nl2, &pl2);
+    let mut body2 = verilog.clone().into_bytes();
+    body2.extend_from_slice(placement.as_bytes());
+    let (status, body) = http(
+        addr,
+        &post("/load?name=rca4", &format!("X-Netlist-Bytes: {}\r\n", verilog.len()), &body2),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    // The text round-trip can reorder cells/pins, so build the reference
+    // from the same serialized files the server parsed.
+    let nl2 = restructure_timing::netlist::parse_verilog(&verilog, &lib2).expect("round-trip");
+    let pl2 = restructure_timing::place::parse_placement(&nl2, &placement).expect("round-trip");
+    let graph2 = TimingGraph::build(&nl2, &lib2);
+    let prep2 = prepared(&lib2, &nl2, &pl2, &graph2, &cfg);
+    let all2: Vec<u32> = (0..prep2.num_endpoints() as u32).collect();
+    let expect2 = bits_of(&trained.predict_batch(&ctx, &prep2, &all2));
+    let (status, body) = http(addr, &post("/predict", "", b"design=rca4\n"));
+    assert_eq!(status, 200);
+    assert_eq!(predict_bits(&body).1, expect2, "a design loaded over HTTP predicts bit-exactly");
+
+    // /stats is valid JSON with sane counters.
+    let (status, body) = http(addr, &get("/stats"));
+    assert_eq!(status, 200);
+    let doc =
+        restructure_timing::obs::json::Value::parse(std::str::from_utf8(&body).expect("utf-8"))
+            .expect("stats parses as JSON");
+    let num = |key: &str| -> u64 {
+        match doc.get(key) {
+            Some(restructure_timing::obs::json::Value::Num(n)) => n.parse().expect("integer"),
+            other => panic!("stats[{key}] = {other:?}"),
+        }
+    };
+    assert!(num("requests") >= 8);
+    assert_eq!(num("worker_panics"), 0);
+    assert_eq!(num("generation"), 2);
+    assert_eq!(num("designs"), 2);
+    assert!(num("endpoints_predicted") >= 2 * prep.num_endpoints() as u64);
+
+    // POST /shutdown flips the flag the CLI loop watches; the drain
+    // itself must answer everything and join.
+    let (status, _) = http(addr, &post("/shutdown", "", b""));
+    assert_eq!(status, 200);
+    assert!(server.shutdown_requested());
+    let report = server.shutdown();
+    assert_eq!(report.stats.worker_panics, 0);
+    assert!(report.stats.responses_2xx >= 8);
+    drop(std::fs::remove_dir_all(dir));
+}
