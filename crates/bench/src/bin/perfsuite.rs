@@ -3,7 +3,7 @@
 //! Times the four workloads the parallel execution layer targets — dataset
 //! generation, GNN forward, CNN forward, and one training epoch — once with
 //! one thread and once with all available cores, then writes the results to
-//! `BENCH_PR8.json` in the current directory (and prints them). Every
+//! `BENCH_PR9.json` in the current directory (and prints them). Every
 //! workload is bit-identical across thread counts, so this suite measures
 //! speed only. A `lint` section records the wall time of the full
 //! rtt-lint workspace pass (parse + call graph + reachability).
@@ -23,25 +23,31 @@
 //! size, plus pins/sec through the shared GNN pass (every call propagates
 //! the whole graph once, so small batches pay the full pass per call).
 //!
+//! An `incremental` section sweeps `TimingModel::predict_incremental` over
+//! dirty-cone sizes (~5%, ~20%, ~50% of pins, seeds chosen via rtt-sta's
+//! `fanout_cone`): wall time and speedup versus the full `predict_batch`
+//! pass, plus the rows-recomputed counters that prove how much of the GNN
+//! each cone actually redid. The ≤10%-dirty row must clear a 5x speedup.
+//!
 //! A `serving` section measures the `rtt-serve` daemon end to end on a
 //! loopback socket: requests/sec and p50/p99 request latency under
 //! keep-alive clients, daemon endpoints/sec against the in-process
 //! library path (the HTTP + queue + worker-pool tax), and the resident
-//! `InferCtx` arena bytes per worker. Results land in `BENCH_PR8.json`.
+//! `InferCtx` arena bytes per worker. Results land in `BENCH_PR9.json`.
 
 #![allow(clippy::print_stdout)] // reports/tables go to stdout by design
 
 use std::time::Instant;
 
 use rtt_circgen::{GenParams, Scale};
-use rtt_core::{ModelConfig, PreparedDesign, TimingModel, TrainConfig};
+use rtt_core::{IncrementalCtx, ModelConfig, PreparedDesign, TimingModel, TrainConfig};
 use rtt_features::endpoint_masks;
 use rtt_flow::{Dataset, FlowConfig};
-use rtt_netlist::{CellLibrary, TimingGraph};
+use rtt_netlist::{CellLibrary, PinId, TimingGraph};
 use rtt_nn::{parallel, InferCtx};
 use rtt_place::{place, PlaceConfig};
 use rtt_route::{route, RouteConfig};
-use rtt_sta::{run_sta, WireModel};
+use rtt_sta::{fanout_cone, run_sta, WireModel};
 
 /// Median wall-clock seconds over `reps` runs of `f`.
 fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -243,6 +249,100 @@ fn main() {
         batch_rows.push((bs, s, ep_per_s, pins_per_s));
     }
 
+    // Incremental inference: dirty-cone `predict_incremental` against the
+    // full `predict_batch` pass on the same design. Seed pins are chosen so
+    // their fan-out cone (per rtt-sta's `fanout_cone`) covers ~5% / ~20% /
+    // ~50% of pins; every rep re-dirties the same cone, so each timed call
+    // pays exactly that cone's GNN recompute plus the per-endpoint tail.
+    parallel::set_num_threads(1);
+    let inc_d = GenParams::new("perfinc".to_owned(), 2000, 55).generate(&lib);
+    let inc_pl = place(&inc_d.netlist, &lib, 0, &PlaceConfig::default());
+    let inc_rt = route(&inc_d.netlist, &lib, &inc_pl, &RouteConfig::default());
+    let inc_graph = TimingGraph::build(&inc_d.netlist, &lib);
+    let inc_sta = run_sta(&inc_d.netlist, &lib, &inc_graph, WireModel::Routed(&inc_rt), 500.0);
+    let inc_targets = inc_sta.endpoint_arrivals().iter().map(|&(_, a)| a).collect();
+    let inc_prep =
+        PreparedDesign::prepare(&inc_d.netlist, &lib, &inc_pl, &inc_graph, &cfg, inc_targets);
+    let inc_pins = inc_graph.num_nodes();
+    let inc_eps: Vec<u32> = (0..inc_prep.num_endpoints() as u32).collect();
+    let mut inc = IncrementalCtx::new();
+    let _ = gnn_model.predict_incremental(&ctx, &mut inc, &inc_prep, &[], &inc_eps); // prime cache
+    let inc_full_s = time_median(infer_reps, || gnn_model.predict_batch(&ctx, &inc_prep, &inc_eps));
+    println!(
+        "\nincremental inference ({} endpoints, {inc_pins} pins, 1 thread; \
+         full predict_batch {inc_full_s:.4}s):",
+        inc_eps.len()
+    );
+    // Score candidate seeds by their individual cone size and union
+    // smallest-first: one high-fanout root (a PI or clock buffer) would
+    // otherwise blanket most of the design and every target fraction
+    // would collapse to the same near-full dirty set.
+    let mut inc_candidates: Vec<(usize, u32)> =
+        (0..inc_pins as u32).step_by(3).map(|v| (fanout_cone(&inc_graph, &[v]).len(), v)).collect();
+    inc_candidates.sort_unstable();
+    #[allow(clippy::type_complexity)]
+    let mut inc_rows: Vec<(f64, usize, u64, u64, u64, u64, f64, f64)> = Vec::new();
+    for &target in &[0.05f64, 0.20, 0.50] {
+        // Grow the seed set until the union fan-out cone covers the
+        // target fraction of pins. Mid-sized cones (at most half the
+        // target, largest first) model a real transform site; the
+        // tiniest cones sit right at the endpoints and would skew the
+        // dirty set toward pure readout-tail work.
+        let want = (target * inc_pins as f64).ceil() as usize;
+        let cone_cap = (want / 2).max(4);
+        let mut seed_nodes: Vec<u32> = Vec::new();
+        for &(_, v) in inc_candidates.iter().filter(|&&(c, _)| c <= cone_cap).rev() {
+            seed_nodes.push(v);
+            if fanout_cone(&inc_graph, &seed_nodes).len() >= want {
+                break;
+            }
+        }
+        let seed_pins: Vec<PinId> = seed_nodes.iter().map(|&v| inc_graph.pin_of(v)).collect();
+        rtt_obs::reset();
+        let probe = gnn_model.predict_incremental(&ctx, &mut inc, &inc_prep, &seed_pins, &inc_eps);
+        let counters = rtt_obs::snapshot().counters;
+        let recomputed = counters.get(rtt_core::ROWS_RECOMPUTED_COUNTER).copied().unwrap_or(0);
+        let total = counters.get(rtt_core::ROWS_TOTAL_COUNTER).copied().unwrap_or(0);
+        let eps_reused = counters.get(rtt_core::EPS_REUSED_COUNTER).copied().unwrap_or(0);
+        let eps_total = counters.get(rtt_core::EPS_TOTAL_COUNTER).copied().unwrap_or(0);
+        let full_ref = gnn_model.predict_batch(&ctx, &inc_prep, &inc_eps);
+        assert!(
+            probe.len() == full_ref.len()
+                && probe.iter().zip(&full_ref).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "incremental diverged from full predict_batch at cone fraction {target}"
+        );
+        let inc_s = time_median(infer_reps, || {
+            gnn_model.predict_incremental(&ctx, &mut inc, &inc_prep, &seed_pins, &inc_eps)
+        });
+        let speedup = inc_full_s / inc_s.max(1e-12);
+        let dirty_frac = recomputed as f64 / total.max(1) as f64;
+        println!(
+            "  cone ~{:>2.0}%  {:>4} seeds  {recomputed:>6}/{total} rows recomputed \
+             ({:>5.1}% dirty)  {eps_reused}/{eps_total} eps reused  {inc_s:>9.4}s  \
+             speedup {speedup:>5.2}x",
+            target * 100.0,
+            seed_nodes.len(),
+            dirty_frac * 100.0
+        );
+        if dirty_frac <= 0.10 {
+            assert!(
+                speedup >= 5.0,
+                "incremental speedup {speedup:.2}x < 5x at {:.1}% dirty rows",
+                dirty_frac * 100.0
+            );
+        }
+        inc_rows.push((
+            target,
+            seed_nodes.len(),
+            recomputed,
+            total,
+            eps_reused,
+            eps_total,
+            inc_s,
+            speedup,
+        ));
+    }
+
     // Serving: the same model and design behind the rtt-serve daemon on a
     // loopback socket. Keep-alive clients hammer /predict; the delta to
     // the in-process batched figure is the HTTP + queue + worker tax.
@@ -368,6 +468,25 @@ fn main() {
     }
     json.push_str("  ]},\n");
     json.push_str(&format!(
+        "  \"incremental\": {{\"endpoints\": {}, \"pins\": {inc_pins}, \"threads\": 1, \
+         \"full_batch_s\": {inc_full_s:.6}, \"rows\": [\n",
+        inc_eps.len(),
+    ));
+    for (i, (target, seeds, recomputed, total, eps_reused, eps_total, inc_s, speedup)) in
+        inc_rows.iter().enumerate()
+    {
+        json.push_str(&format!(
+            "    {{\"target_fraction\": {target:.2}, \"seed_pins\": {seeds}, \
+             \"rows_recomputed\": {recomputed}, \"rows_total\": {total}, \
+             \"dirty_fraction\": {:.4}, \"endpoints_reused\": {eps_reused}, \
+             \"endpoints_requested\": {eps_total}, \"incremental_s\": {inc_s:.6}, \
+             \"speedup\": {speedup:.3}}}{}\n",
+            *recomputed as f64 / (*total).max(1) as f64,
+            if i + 1 < inc_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
         "  \"serving\": {{\"endpoints_per_request\": {n_ep}, \"workers\": {daemon_workers}, \
          \"clients\": {serve_clients}, \"requests\": {}, \"wall_s\": {serve_wall_s:.6}, \
          \"requests_per_s\": {serve_rps:.1}, \"latency_p50_ms\": {serve_p50:.4}, \
@@ -395,6 +514,6 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write("BENCH_PR8.json", json).expect("write BENCH_PR8.json");
-    eprintln!("[written to BENCH_PR8.json]");
+    std::fs::write("BENCH_PR9.json", json).expect("write BENCH_PR9.json");
+    eprintln!("[written to BENCH_PR9.json]");
 }

@@ -4,7 +4,7 @@
 use rand::Rng;
 
 use rtt_features::{NodeFeatures, CELL_FEATURE_DIM, NET_FEATURE_DIM};
-use rtt_netlist::{EdgeKind, NodeKind, TimingGraph};
+use rtt_netlist::{EdgeKind, NodeKind, PinId, TimingGraph};
 use rtt_nn::{ops, Exec, Mlp, ParamStore, Tensor};
 
 use crate::{Aggregation, ModelConfig};
@@ -26,6 +26,10 @@ pub struct GnnSchedule {
     /// Flat, SIMD-friendly twin of `levels`, derived once at build time
     /// and consumed by [`NetlistGnn::forward_flat`].
     plan: GnnPlan,
+    /// Pin behind each flat row — the stable key the incremental path
+    /// uses to match rows across a netlist transform (pin ids survive
+    /// tombstoning edits, flat row numbers do not).
+    pin_of_row: Vec<PinId>,
 }
 
 /// The batched execution plan over one flat `[num_nodes, embed_dim]`
@@ -36,42 +40,45 @@ pub struct GnnSchedule {
 /// index arithmetic done once per design, so the per-pass inner loops are
 /// straight-line gathers, contiguous reductions, and row memcpys.
 #[derive(Clone, Debug, Default)]
-struct GnnPlan {
-    levels: Vec<FlatLevel>,
+pub(crate) struct GnnPlan {
+    pub(crate) levels: Vec<FlatLevel>,
     /// Flat row of each endpoint, aligned with `TimingGraph::endpoints()`.
-    endpoint_rows: Vec<u32>,
+    pub(crate) endpoint_rows: Vec<u32>,
     /// Total rows of the flat matrix (= number of graph nodes).
-    total_rows: usize,
+    pub(crate) total_rows: usize,
     /// Rows of the concatenated static cell-feature matrix that belong to
     /// cell groups; source-group rows follow (see
     /// [`LevelFeats::cell_src_flat`]).
-    total_cell_rows: usize,
+    pub(crate) total_cell_rows: usize,
+    /// First flat row of each level (`len = levels + 1`): level `l` owns
+    /// rows `level_off[l]..level_off[l + 1]`.
+    pub(crate) level_off: Vec<u32>,
 }
 
 #[derive(Clone, Debug, Default)]
-struct FlatLevel {
-    n_cells: usize,
-    n_nets: usize,
-    n_srcs: usize,
+pub(crate) struct FlatLevel {
+    pub(crate) n_cells: usize,
+    pub(crate) n_nets: usize,
+    pub(crate) n_srcs: usize,
     /// Flat source row of each gathered cell fanin message.
-    cell_gather: Vec<u32>,
+    pub(crate) cell_gather: Vec<u32>,
     /// CSR offsets into `cell_gather`: cell `i` reduces messages
     /// `cell_seg_off[i]..cell_seg_off[i + 1]` (`len = n_cells + 1`).
-    cell_seg_off: Vec<u32>,
+    pub(crate) cell_seg_off: Vec<u32>,
     /// `1 / max(fanin, 1)` per cell (mean aggregation), precomputed with
     /// the exact arithmetic of the per-pass Exec path.
-    cell_inv_fanin: Vec<f32>,
+    pub(crate) cell_inv_fanin: Vec<f32>,
     /// Flat source row of each net node's driver message.
-    net_gather: Vec<u32>,
+    pub(crate) net_gather: Vec<u32>,
     /// Flat destination row of each cell / net / source group row.
-    cell_dst: Vec<u32>,
-    net_dst: Vec<u32>,
-    src_dst: Vec<u32>,
+    pub(crate) cell_dst: Vec<u32>,
+    pub(crate) net_dst: Vec<u32>,
+    pub(crate) src_dst: Vec<u32>,
     /// Row offsets of this level's groups inside the concatenated static
     /// feature matrices of [`LevelFeats`].
-    cell_feat_off: usize,
-    net_feat_off: usize,
-    src_feat_off: usize,
+    pub(crate) cell_feat_off: usize,
+    pub(crate) net_feat_off: usize,
+    pub(crate) src_feat_off: usize,
 }
 
 impl GnnPlan {
@@ -149,6 +156,7 @@ impl GnnPlan {
             total_rows: off as usize,
             total_cell_rows,
             levels: flat_levels,
+            level_off,
         }
     }
 }
@@ -239,7 +247,11 @@ impl GnnSchedule {
         let endpoint_locs: Vec<(u32, u32)> =
             graph.endpoints().iter().map(|&v| node_loc[v as usize]).collect();
         let plan = GnnPlan::build(&levels, &endpoint_locs);
-        Self { levels, endpoint_locs, node_loc, plan }
+        let mut pin_of_row = vec![PinId::from_index(0); plan.total_rows];
+        for (v, &(l, r)) in node_loc.iter().enumerate() {
+            pin_of_row[(plan.level_off[l as usize] + r) as usize] = graph.pin_of(v as u32);
+        }
+        Self { levels, endpoint_locs, node_loc, plan, pin_of_row }
     }
 
     /// Number of topological levels.
@@ -274,6 +286,44 @@ impl GnnSchedule {
     /// `TimingGraph::endpoints()` order.
     pub fn flat_endpoint_rows(&self) -> &[u32] {
         &self.plan.endpoint_rows
+    }
+
+    /// Pin behind each flat row (the inverse of the node → row mapping,
+    /// keyed by the transform-stable [`PinId`]s). The incremental path
+    /// matches rows across netlist edits through this.
+    pub fn flat_row_pins(&self) -> &[PinId] {
+        &self.pin_of_row
+    }
+
+    /// The flat execution plan (crate-internal: the incremental engine
+    /// walks its CSR cones directly).
+    pub(crate) fn plan(&self) -> &GnnPlan {
+        &self.plan
+    }
+
+    /// Propagates a seeded dirty set through the level-ordered fan-out
+    /// cones: a row becomes dirty as soon as any row it gathers from is
+    /// dirty. Gathers only reference earlier levels, so one in-order
+    /// sweep reaches the whole transitive cone. Returns the dirty count.
+    pub(crate) fn propagate_dirty(&self, dirty: &mut [bool]) -> usize {
+        assert_eq!(dirty.len(), self.plan.total_rows, "dirty set must cover every flat row");
+        for fl in &self.plan.levels {
+            for j in 0..fl.n_cells {
+                let dst = fl.cell_dst[j] as usize;
+                if !dirty[dst] {
+                    let (lo, hi) = (fl.cell_seg_off[j] as usize, fl.cell_seg_off[j + 1] as usize);
+                    dirty[dst] = fl.cell_gather[lo..hi].iter().any(|&g| dirty[g as usize]);
+                }
+            }
+            for j in 0..fl.n_nets {
+                let dst = fl.net_dst[j] as usize;
+                if !dirty[dst] {
+                    dirty[dst] = dirty[fl.net_gather[j] as usize];
+                }
+            }
+            // Source rows have no fanin; they are dirty only if seeded.
+        }
+        dirty.iter().filter(|&&d| d).count()
     }
 }
 
@@ -563,6 +613,255 @@ impl NetlistGnn {
         }
         rtt_nn::sanitize::check_finite("gnn_forward_flat", flat);
     }
+
+    /// Number of scratch tensors [`Self::forward_flat_incremental`]
+    /// consumes (same count as [`Self::FLAT_SCRATCH`], so one arena
+    /// region serves both paths).
+    pub(crate) const INC_SCRATCH: usize = 8;
+
+    /// Dirty-cone twin of [`Self::forward_flat`]: recomputes only the
+    /// rows selected by `compact` (an [`IncCompact`] built from the dirty
+    /// set) and fills every clean row by copying its mapped row of
+    /// `base_flat` (a cached flat matrix for a base design whose clean
+    /// rows are, by the caller's invariants, bit-identical to what a full
+    /// pass over this design would produce).
+    ///
+    /// Caller contract — the dirty set behind `compact` / `map_rows`
+    /// (indexed by this schedule's flat rows) must satisfy:
+    /// * the dirty set is closed under fan-out:
+    ///   [`GnnSchedule::propagate_dirty`] has been run after seeding
+    ///   every row whose static features, node kind, or gather sources
+    ///   changed versus the base design;
+    /// * `compact` was built by [`IncCompact::build`] from that closed
+    ///   dirty set over this schedule's plan;
+    /// * rows without a base mapping are dirty, and `map_rows[r]` is
+    ///   `u32::MAX` exactly on dirty rows.
+    ///
+    /// Bit-identity argument (induction over levels): a clean row's
+    /// inputs are all clean (closure), its static features are
+    /// bit-identical to the base (seeding), so the byte copy of the base
+    /// row equals a recompute. A dirty row is recomputed with the same
+    /// kernels as the full pass over the same rows in the same order:
+    /// the compacted `f_c2` / `f_n` products are row-wise exact, the
+    /// compacted CSR segments scan the same message rows ascending, and
+    /// empty segments produce the same zero rows. Nothing reads a dirty
+    /// row before its level writes it, because gathers only reference
+    /// earlier levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bufs.len() != INC_SCRATCH` or the inputs disagree with
+    /// `schedule` (row-count mismatch).
+    // rtt-lint: hot
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_flat_incremental(
+        &self,
+        store: &ParamStore,
+        schedule: &GnnSchedule,
+        feats: &LevelFeats,
+        aggregation: Aggregation,
+        compact: &IncCompact,
+        map_rows: &[u32],
+        base_flat: &Tensor,
+        flat: &mut Tensor,
+        bufs: &mut [Tensor],
+    ) {
+        rtt_obs::span!("core::gnn_forward_incremental");
+        let [feat_in, sc_d, sn_d, msgs, agg, ctxv, t0, t1] = bufs else {
+            unreachable!("forward_flat_incremental needs exactly {} scratch buffers", {
+                Self::INC_SCRATCH
+            })
+        };
+        let plan = &schedule.plan;
+        assert_eq!(map_rows.len(), plan.total_rows, "row map must cover every flat row");
+        assert_eq!(compact.levels.len(), plan.levels.len(), "compacted plan must match schedule");
+        let d = self.f_c1.out_dim();
+        let dirty_cell_rows = compact.dirty_cell_rows;
+
+        // Compacted static embeddings, dirty rows only, in the exact row
+        // order of the full pass (cells level-major, then sources): each
+        // level's dirty rows stay contiguous, so the level loop reads
+        // them back with the same `add_rows_range` / `scatter_rows`
+        // calls as `forward_flat`, just at compacted offsets.
+        if !compact.cell_src_rows.is_empty() {
+            let Some(cs) = feats.cell_src_flat.as_ref() else {
+                unreachable!("cell/source feats present whenever cell or source rows exist")
+            };
+            ops::gather_rows_flat(cs, &compact.cell_src_rows, feat_in);
+            self.f_c2.forward_into(store, feat_in, t0, t1, sc_d);
+            for v in &mut sc_d.data_mut()[dirty_cell_rows * d..] {
+                *v = v.max(0.0);
+            }
+        }
+        if !compact.net_rows.is_empty() {
+            let Some(nf) = feats.net_flat.as_ref() else {
+                unreachable!("net feats present whenever net rows exist")
+            };
+            ops::gather_rows_flat(nf, &compact.net_rows, feat_in);
+            self.f_n.forward_into(store, feat_in, t0, t1, sn_d);
+            if self.residual {
+                ops::relu_in_place(sn_d);
+            }
+        }
+
+        // Clean rows: one bulk copy from the base. Dirty rows come back
+        // zeroed and are overwritten below before anything gathers them.
+        ops::gather_rows_or_zero(base_flat, map_rows, flat);
+
+        // Compacted level sweep: identical kernels over the dirty subset.
+        let (mut c_cur, mut s_cur, mut n_cur) = (0usize, dirty_cell_rows, 0usize);
+        for cl in &compact.levels {
+            if !cl.cdst.is_empty() {
+                if cl.cgat.is_empty() {
+                    // All-empty segments (fanin-less cells): the CSR
+                    // kernels' empty-segment rule produces zero rows.
+                    agg.reset(&[cl.cdst.len(), d], 0.0);
+                } else {
+                    ops::gather_rows_flat(flat, &cl.cgat, msgs);
+                    match aggregation {
+                        Aggregation::Max => ops::segment_max_csr(msgs, &cl.cseg, agg),
+                        Aggregation::Mean => {
+                            ops::segment_sum_csr(msgs, &cl.cseg, agg);
+                            ops::scale_rows_in_place(agg, &cl.cinv);
+                        }
+                    }
+                }
+                if self.residual {
+                    ops::tanh_to(agg, ctxv);
+                    self.f_c1.forward_into(store, ctxv, t0, t1, msgs);
+                    ops::add_rows_range(msgs, sc_d, c_cur);
+                    ops::relu_in_place(msgs);
+                    agg.add_assign(msgs);
+                    ops::scatter_rows(agg, 0, &cl.cdst, flat);
+                } else {
+                    self.f_c1.forward_into(store, agg, t0, t1, msgs);
+                    ops::add_rows_range(msgs, sc_d, c_cur);
+                    ops::relu_in_place(msgs);
+                    ops::scatter_rows(msgs, 0, &cl.cdst, flat);
+                }
+                c_cur += cl.cdst.len();
+            }
+            if !cl.ndst.is_empty() {
+                ops::gather_rows_flat(flat, &cl.ngat, msgs);
+                ops::add_rows_range(msgs, sn_d, n_cur);
+                if !self.residual {
+                    ops::relu_in_place(msgs);
+                }
+                ops::scatter_rows(msgs, 0, &cl.ndst, flat);
+                n_cur += cl.ndst.len();
+            }
+            if !cl.sdst.is_empty() {
+                ops::scatter_rows(sc_d, s_cur, &cl.sdst, flat);
+                s_cur += cl.sdst.len();
+            }
+        }
+        rtt_nn::sanitize::check_finite("gnn_forward_flat_incremental", flat);
+    }
+}
+
+/// Compacted dirty-row schedule consumed by
+/// [`NetlistGnn::forward_flat_incremental`]: the plan's per-level gather
+/// lists, CSR offsets, and scatter destinations restricted to dirty rows,
+/// in the exact row order of the full pass. All per-element plan walking
+/// (and every allocation) lives in [`IncCompact::build`], outside the hot
+/// kernel; the kernel only consumes whole slices. Owned by
+/// `IncrementalCtx` and recycled across refreshes, so steady-state
+/// rebuilds allocate nothing once the vectors have grown to cone size.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct IncCompact {
+    /// Compacted static-feature rows for the `f_c2` product: dirty cell
+    /// rows (level-major) followed by dirty source rows.
+    cell_src_rows: Vec<u32>,
+    /// Number of cell rows at the head of `cell_src_rows` (source rows
+    /// follow and read out through ReLU).
+    dirty_cell_rows: usize,
+    /// Compacted static-feature rows for the `f_n` product.
+    net_rows: Vec<u32>,
+    /// Per-level compacted arrays, aligned with `GnnPlan::levels`.
+    levels: Vec<IncLevel>,
+}
+
+/// One level's dirty-row slice of the flat plan (names mirror the
+/// `FlatLevel` arrays they compact).
+#[derive(Clone, Debug, Default)]
+struct IncLevel {
+    /// Flat source rows of the dirty cells' fanin messages.
+    cgat: Vec<u32>,
+    /// CSR offsets into `cgat` (`len = dirty cells + 1`).
+    cseg: Vec<u32>,
+    /// `1 / max(fanin, 1)` per dirty cell (mean aggregation).
+    cinv: Vec<f32>,
+    /// Flat destination row per dirty cell.
+    cdst: Vec<u32>,
+    /// Driver row / destination row per dirty net.
+    ngat: Vec<u32>,
+    ndst: Vec<u32>,
+    /// Destination row per dirty source.
+    sdst: Vec<u32>,
+}
+
+impl IncCompact {
+    /// Rebuilds the compacted schedule for `dirty` (indexed by flat row,
+    /// closed under fan-out by the caller) over `plan`, reusing this
+    /// instance's allocations.
+    pub(crate) fn build(&mut self, plan: &GnnPlan, dirty: &[bool]) {
+        assert_eq!(dirty.len(), plan.total_rows, "dirty set must cover every flat row");
+        self.cell_src_rows.clear();
+        for fl in &plan.levels {
+            for j in 0..fl.n_cells {
+                if dirty[fl.cell_dst[j] as usize] {
+                    self.cell_src_rows.push((fl.cell_feat_off + j) as u32);
+                }
+            }
+        }
+        self.dirty_cell_rows = self.cell_src_rows.len();
+        for fl in &plan.levels {
+            for j in 0..fl.n_srcs {
+                if dirty[fl.src_dst[j] as usize] {
+                    self.cell_src_rows.push((fl.src_feat_off + j) as u32);
+                }
+            }
+        }
+        self.net_rows.clear();
+        for fl in &plan.levels {
+            for j in 0..fl.n_nets {
+                if dirty[fl.net_dst[j] as usize] {
+                    self.net_rows.push((fl.net_feat_off + j) as u32);
+                }
+            }
+        }
+        self.levels.resize_with(plan.levels.len(), IncLevel::default);
+        for (fl, cl) in plan.levels.iter().zip(&mut self.levels) {
+            cl.cgat.clear();
+            cl.cseg.clear();
+            cl.cseg.push(0);
+            cl.cinv.clear();
+            cl.cdst.clear();
+            for j in 0..fl.n_cells {
+                if dirty[fl.cell_dst[j] as usize] {
+                    let (lo, hi) = (fl.cell_seg_off[j] as usize, fl.cell_seg_off[j + 1] as usize);
+                    cl.cgat.extend_from_slice(&fl.cell_gather[lo..hi]);
+                    cl.cseg.push(cl.cgat.len() as u32);
+                    cl.cinv.push(fl.cell_inv_fanin[j]);
+                    cl.cdst.push(fl.cell_dst[j]);
+                }
+            }
+            cl.ngat.clear();
+            cl.ndst.clear();
+            for j in 0..fl.n_nets {
+                if dirty[fl.net_dst[j] as usize] {
+                    cl.ngat.push(fl.net_gather[j]);
+                    cl.ndst.push(fl.net_dst[j]);
+                }
+            }
+            cl.sdst.clear();
+            for j in 0..fl.n_srcs {
+                if dirty[fl.src_dst[j] as usize] {
+                    cl.sdst.push(fl.src_dst[j]);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -647,6 +946,86 @@ mod tests {
         let a = tape.value(gnn.forward(&tape, &store, &schedule, &feats, Aggregation::Max));
         let b = tape.value(gnn.forward(&tape, &store, &schedule, &feats, Aggregation::Mean));
         assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn incremental_forward_matches_full_at_the_extremes() {
+        let (schedule, feats, _) = world(150);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let cfg = ModelConfig::tiny();
+        let gnn = NetlistGnn::new(&mut store, &mut rng, &cfg);
+        let n = schedule.num_nodes();
+        for aggregation in [Aggregation::Max, Aggregation::Mean] {
+            let mut bufs: Vec<Tensor> =
+                (0..NetlistGnn::FLAT_SCRATCH).map(|_| Tensor::default()).collect();
+            gnn.forward_flat(&store, &schedule, &feats, aggregation, &mut bufs);
+            let full = bufs[0].clone();
+
+            // Everything dirty: the base must not be consulted at all.
+            let mut ibufs: Vec<Tensor> =
+                (0..NetlistGnn::INC_SCRATCH).map(|_| Tensor::default()).collect();
+            let mut flat = Tensor::default();
+            let base = Tensor::full(&[n, cfg.embed_dim], f32::NAN);
+            let mut compact = IncCompact::default();
+            compact.build(schedule.plan(), &vec![true; n]);
+            gnn.forward_flat_incremental(
+                &store,
+                &schedule,
+                &feats,
+                aggregation,
+                &compact,
+                &vec![u32::MAX; n],
+                &base,
+                &mut flat,
+                &mut ibufs,
+            );
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            assert_eq!(bits(&flat), bits(&full), "all-dirty pass must equal the full pass");
+
+            // Nothing dirty: a pure row copy of the base.
+            let identity: Vec<u32> = (0..n as u32).collect();
+            compact.build(schedule.plan(), &vec![false; n]);
+            gnn.forward_flat_incremental(
+                &store,
+                &schedule,
+                &feats,
+                aggregation,
+                &compact,
+                &identity,
+                &full,
+                &mut flat,
+                &mut ibufs,
+            );
+            assert_eq!(bits(&flat), bits(&full), "zero-dirty pass must copy the base");
+        }
+    }
+
+    #[test]
+    fn propagate_dirty_reaches_exactly_the_fanout_cone() {
+        let (schedule, _, _) = world(200);
+        let n = schedule.num_nodes();
+        // Closure check: propagating an already-propagated set is a no-op,
+        // and every row gathering from a dirty row is dirty.
+        let mut dirty = vec![false; n];
+        dirty[schedule.plan().levels[0].src_dst[0] as usize] = true;
+        let count = schedule.propagate_dirty(&mut dirty);
+        assert!(count > 1, "a level-0 source must have downstream rows");
+        let again = schedule.propagate_dirty(&mut dirty.clone());
+        assert_eq!(count, again, "propagation must be idempotent");
+        for fl in &schedule.plan().levels {
+            for j in 0..fl.n_cells {
+                let any_in = (fl.cell_seg_off[j]..fl.cell_seg_off[j + 1])
+                    .any(|k| dirty[fl.cell_gather[k as usize] as usize]);
+                assert!(!any_in || dirty[fl.cell_dst[j] as usize]);
+            }
+            for j in 0..fl.n_nets {
+                assert!(
+                    !dirty[fl.net_gather[j] as usize] || dirty[fl.net_dst[j] as usize],
+                    "net row must follow its driver's dirtiness"
+                );
+            }
+        }
     }
 
     #[test]

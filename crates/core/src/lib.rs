@@ -50,6 +50,7 @@
 mod cnn;
 mod config;
 mod gnn;
+mod incremental;
 mod model;
 pub mod model_io;
 mod prepare;
@@ -57,5 +58,9 @@ mod prepare;
 pub use cnn::LayoutCnn;
 pub use config::{Aggregation, ModelConfig, ModelVariant, TrainConfig};
 pub use gnn::{GnnSchedule, LevelFeats, NetlistGnn, READOUT_SCALE};
+pub use incremental::{
+    IncrementalCtx, EPS_REUSED_COUNTER, EPS_TOTAL_COUNTER, ROWS_RECOMPUTED_COUNTER,
+    ROWS_TOTAL_COUNTER,
+};
 pub use model::{TimingModel, TrainLog};
 pub use prepare::PreparedDesign;

@@ -5,11 +5,12 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use rtt_netlist::PinId;
 use rtt_nn::{mse, ops, Adam, Exec, Grads, InferCtx, Linear, Mlp, ParamStore, Tape, Tensor};
 
 use crate::cnn::LayoutCnn;
 use crate::gnn::NetlistGnn;
-use crate::{ModelConfig, ModelVariant, PreparedDesign, TrainConfig};
+use crate::{IncrementalCtx, ModelConfig, ModelVariant, PreparedDesign, TrainConfig};
 
 /// Training history.
 #[derive(Clone, Debug, Default)]
@@ -304,9 +305,7 @@ impl TimingModel {
         let mut out = Vec::with_capacity(indices.len());
         ctx.with_scratch(NetlistGnn::FLAT_SCRATCH + REST, |bufs, argmax, col| {
             let (gbufs, rest) = bufs.split_at_mut(NetlistGnn::FLAT_SCRATCH);
-            let [cnn_a, cnn_b, gmap, ep, masks, lemb, fused, r0, r1, pred] = rest else {
-                unreachable!("scratch layout mismatch")
-            };
+            let (cnn_bufs, tail_bufs) = rest.split_at_mut(3);
             if let Some(gnn) = &self.gnn {
                 gnn.forward_flat(
                     &self.store,
@@ -316,53 +315,183 @@ impl TimingModel {
                     gbufs,
                 );
             }
-            let flat = &gbufs[0];
             if let Some((trunk, _)) = &self.cnn {
+                let [cnn_a, cnn_b, gmap] = cnn_bufs else {
+                    unreachable!("scratch layout mismatch")
+                };
                 trunk.forward_into(&self.store, &design.maps, cnn_a, cnn_b, gmap, col, argmax);
             }
+            let flat = self.gnn.is_some().then(|| &gbufs[0]);
+            let gmap = self.cnn.is_some().then(|| &cnn_bufs[2]);
+            self.predict_tail(design, indices, flat, gmap, tail_bufs, &mut out);
+        });
+        out
+    }
+
+    /// Incremental twin of [`Self::predict_batch`]: reuses the flat GNN
+    /// activations cached in `inc` for a base design, recomputing only
+    /// the fan-out cones of `dirty_pins` (plus any rows whose static
+    /// features, node kind, or existence changed — those are detected
+    /// internally). A cold `inc` runs one full pass. On return the cache
+    /// has rebased onto `design`, so a transform sequence only ever pays
+    /// for its latest step's cone. The per-endpoint readout tail runs
+    /// only for endpoints whose inputs changed — an endpoint whose flat
+    /// row survived the refresh untouched, whose mask bins are unchanged
+    /// and whose global map came from the cache is served its cached
+    /// prediction, which is the same bits recomputation would produce.
+    /// Outputs are therefore bit-identical to [`Self::predict_batch`]
+    /// on the same design and indices.
+    ///
+    /// Caller contract:
+    /// * `dirty_pins` must cover every pin whose *gather topology*
+    ///   changed versus the design `inc` last saw —
+    ///   `rtt_opt::dirty_seed_pins` derives exactly that set from a
+    ///   before/after netlist pair (pin ids must be shared with the
+    ///   cached base, i.e. `design` descends from it by tombstoning
+    ///   edits);
+    /// * call [`IncrementalCtx::reset`] whenever the model weights
+    ///   change (e.g. a hot-reload) or the design lineage breaks.
+    ///
+    /// CNN-only variants have no per-node state to cache and simply
+    /// forward to [`Self::predict_batch`].
+    // rtt-lint: entry
+    pub fn predict_incremental(
+        &self,
+        ctx: &InferCtx,
+        inc: &mut IncrementalCtx,
+        design: &PreparedDesign,
+        dirty_pins: &[PinId],
+        indices: &[u32],
+    ) -> Vec<f32> {
+        let obs = rtt_obs::span("core::predict_incremental");
+        obs.add("endpoints", indices.len() as u64);
+        let Some(gnn) = &self.gnn else {
+            return self.predict_batch(ctx, design, indices);
+        };
+        const TAIL: usize = 7;
+        let mut out = Vec::with_capacity(indices.len());
+        ctx.with_scratch(NetlistGnn::INC_SCRATCH + 3 + TAIL, |bufs, argmax, col| {
+            let (gbufs, rest) = bufs.split_at_mut(NetlistGnn::INC_SCRATCH);
+            let (cnn_bufs, tail_bufs) = rest.split_at_mut(3);
+            // The cache refreshes even for an empty index set, so a
+            // caller draining queued transforms can always hand the
+            // seeds over exactly once.
+            inc.refresh_gnn(gnn, &self.store, design, self.config.aggregation, dirty_pins, gbufs);
+            if let Some((trunk, _)) = &self.cnn {
+                if !inc.gmap_matches(&design.maps) {
+                    let [cnn_a, cnn_b, gmap] = cnn_bufs else {
+                        unreachable!("scratch layout mismatch")
+                    };
+                    trunk.forward_into(&self.store, &design.maps, cnn_a, cnn_b, gmap, col, argmax);
+                    inc.set_gmap(&design.maps, gmap);
+                }
+            }
+            if indices.is_empty() {
+                return;
+            }
+            // Split the request into cache hits (tail inputs bit-equal
+            // to the run that produced the entry) and endpoints that
+            // must recompute; scatter both into the caller's order.
+            let pins = design.schedule.flat_row_pins();
             let ep_rows = design.schedule.flat_endpoint_rows();
-            let mut rows: Vec<u32> = Vec::new();
-            for chunk in indices.chunks(Self::PREDICT_CHUNK) {
-                let span = rtt_obs::span("nn::infer");
-                span.add("endpoints", chunk.len() as u64);
-                if self.gnn.is_some() {
-                    rows.clear();
-                    rows.extend(chunk.iter().map(|&i| ep_rows[i as usize]));
-                    ops::gather_rows_flat(flat, &rows, ep);
-                    if self.config.residual {
-                        // Same rescale as the Exec path (values identical:
-                        // `scale` is a copy + in-place multiply).
-                        ep.scale_assign(crate::READOUT_SCALE);
+            let masked = self.cnn.is_some() && self.config.masking;
+            out.resize(indices.len(), 0.0);
+            let mut todo: Vec<u32> = Vec::new();
+            let mut todo_pos: Vec<usize> = Vec::new();
+            for (k, &i) in indices.iter().enumerate() {
+                let pin = pins[ep_rows[i as usize] as usize];
+                let hit = inc.ep_get(pin).filter(|e| !masked || e.mask == design.masks[i as usize]);
+                match hit {
+                    Some(e) => out[k] = e.val,
+                    None => {
+                        todo.push(i);
+                        todo_pos.push(k);
                     }
                 }
-                if let Some((_, fc)) = &self.cnn {
-                    if self.config.masking {
-                        design.dense_mask_rows_into(chunk, masks);
-                    } else {
-                        let cols = design.mask_grid * design.mask_grid;
-                        masks.reset(&[chunk.len().max(1), cols], 1.0);
-                    }
-                    ops::mul_row_in_place(masks, gmap.data());
-                    fc.forward_into(&self.store, masks, lemb);
-                }
-                let fused_ref: &Tensor = match (self.gnn.is_some(), self.cnn.is_some()) {
-                    (true, true) => {
-                        ops::concat_cols(ep, lemb, fused);
-                        fused
-                    }
-                    (true, false) => ep,
-                    (false, true) => lemb,
-                    (false, false) => unreachable!("at least one branch is active"),
-                };
-                self.regressor.forward_into(&self.store, fused_ref, r0, r1, pred);
-                out.extend(
-                    pred.data()
-                        .iter()
-                        .map(|p| self.decode_target(p * self.target_std + self.target_mean)),
-                );
+            }
+            rtt_obs::add_many(&[
+                (crate::EPS_REUSED_COUNTER, (indices.len() - todo.len()) as u64),
+                (crate::EPS_TOTAL_COUNTER, indices.len() as u64),
+            ]);
+            if todo.is_empty() {
+                return;
+            }
+            let mut fresh = Vec::with_capacity(todo.len());
+            self.predict_tail(design, &todo, inc.flat(), inc.gmap(), tail_bufs, &mut fresh);
+            for ((&v, &k), &i) in fresh.iter().zip(&todo_pos).zip(&todo) {
+                out[k] = v;
+                let pin = pins[ep_rows[i as usize] as usize];
+                let mask: &[u32] = if masked { &design.masks[i as usize] } else { &[] };
+                inc.ep_put(pin, v, mask);
             }
         });
         out
+    }
+
+    /// The shared per-endpoint readout tail of [`Self::predict_batch`]
+    /// and [`Self::predict_incremental`]: endpoint-row gather + readout
+    /// rescale, masked layout embedding, fusion, and the regressor, in
+    /// [`Self::PREDICT_CHUNK`]-row chunks. Both entry points run this
+    /// exact code, which is what makes their outputs bit-comparable.
+    ///
+    /// `flat` must be present iff the GNN branch is active, `gmap` iff
+    /// the CNN branch is.
+    fn predict_tail(
+        &self,
+        design: &PreparedDesign,
+        indices: &[u32],
+        flat: Option<&Tensor>,
+        gmap: Option<&Tensor>,
+        bufs: &mut [Tensor],
+        out: &mut Vec<f32>,
+    ) {
+        let [ep, masks, lemb, fused, r0, r1, pred] = bufs else {
+            unreachable!("tail scratch layout mismatch")
+        };
+        let ep_rows = design.schedule.flat_endpoint_rows();
+        let mut rows: Vec<u32> = Vec::new();
+        for chunk in indices.chunks(Self::PREDICT_CHUNK) {
+            let span = rtt_obs::span("nn::infer");
+            span.add("endpoints", chunk.len() as u64);
+            if let Some(flat) = flat {
+                rows.clear();
+                rows.extend(chunk.iter().map(|&i| ep_rows[i as usize]));
+                ops::gather_rows_flat(flat, &rows, ep);
+                if self.config.residual {
+                    // Same rescale as the Exec path (values identical:
+                    // `scale` is a copy + in-place multiply).
+                    ep.scale_assign(crate::READOUT_SCALE);
+                }
+            }
+            if let Some(gmap) = gmap {
+                let Some((_, fc)) = self.cnn.as_ref() else {
+                    unreachable!("gmap implies an active CNN branch")
+                };
+                if self.config.masking {
+                    design.dense_mask_rows_into(chunk, masks);
+                } else {
+                    let cols = design.mask_grid * design.mask_grid;
+                    masks.reset(&[chunk.len().max(1), cols], 1.0);
+                }
+                ops::mul_row_in_place(masks, gmap.data());
+                fc.forward_into(&self.store, masks, lemb);
+            }
+            let fused_ref: &Tensor = match (flat.is_some(), gmap.is_some()) {
+                (true, true) => {
+                    ops::concat_cols(ep, lemb, fused);
+                    fused
+                }
+                (true, false) => ep,
+                (false, true) => lemb,
+                (false, false) => unreachable!("at least one branch is active"),
+            };
+            self.regressor.forward_into(&self.store, fused_ref, r0, r1, pred);
+            out.extend(
+                pred.data()
+                    .iter()
+                    .map(|p| self.decode_target(p * self.target_std + self.target_mean)),
+            );
+        }
     }
 
     /// Multi-design serving entry point: scores every design (all

@@ -50,7 +50,7 @@ mod optimizer;
 mod transforms;
 
 pub use config::{OptConfig, OptReport};
-pub use diff::{diff_netlists, NetlistDiff};
+pub use diff::{diff_netlists, dirty_seed_pins, NetlistDiff};
 pub use legal::{DensityTracker, LegalityViolation};
 pub use optimizer::optimize;
 pub use transforms::{

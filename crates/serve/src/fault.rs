@@ -49,16 +49,22 @@ pub enum FaultMode {
     CorruptReload,
     /// The request queue reports full, exercising 503 backpressure.
     QueueFull,
+    /// A `/transform` request aborts after mutating its working copy but
+    /// before publishing, exercising the all-or-nothing publish step (the
+    /// design and its incremental cache must be left exactly as they
+    /// were).
+    TransformAbort,
 }
 
 /// Every mode, in a fixed order (indexes the per-mode counters).
-pub const ALL_MODES: [FaultMode; 6] = [
+pub const ALL_MODES: [FaultMode; 7] = [
     FaultMode::ShortRead,
     FaultMode::ShortWrite,
     FaultMode::Disconnect,
     FaultMode::Stall,
     FaultMode::CorruptReload,
     FaultMode::QueueFull,
+    FaultMode::TransformAbort,
 ];
 
 impl FaultMode {
@@ -70,6 +76,7 @@ impl FaultMode {
             Self::Stall => 3,
             Self::CorruptReload => 4,
             Self::QueueFull => 5,
+            Self::TransformAbort => 6,
         }
     }
 
@@ -82,6 +89,7 @@ impl FaultMode {
             Self::Stall => "stall",
             Self::CorruptReload => "corrupt_reload",
             Self::QueueFull => "queue_full",
+            Self::TransformAbort => "transform_abort",
         }
     }
 
@@ -94,14 +102,14 @@ impl FaultMode {
 #[derive(Clone, Debug)]
 pub struct FaultSpec {
     seed: u64,
-    rate_ppm: [u32; 6],
+    rate_ppm: [u32; 7],
     stall_ms: u64,
 }
 
 impl FaultSpec {
     /// Starts a spec with every mode off.
     pub fn new(seed: u64) -> Self {
-        Self { seed, rate_ppm: [0; 6], stall_ms: 25 }
+        Self { seed, rate_ppm: [0; 7], stall_ms: 25 }
     }
 
     /// Sets one mode's injection probability (`0.0..=1.0`).
@@ -114,7 +122,7 @@ impl FaultSpec {
     /// Remembers `probability` as the default for [`Self::all_modes`].
     #[must_use]
     pub fn rate(mut self, probability: f64) -> Self {
-        self.rate_ppm = [ppm(probability); 6];
+        self.rate_ppm = [ppm(probability); 7];
         self
     }
 
@@ -156,10 +164,10 @@ fn ppm(probability: f64) -> u32 {
 #[derive(Debug, Default)]
 struct Inner {
     seed: u64,
-    rate_ppm: [u32; 6],
+    rate_ppm: [u32; 7],
     stall_ms: u64,
-    seq: [AtomicU64; 6],
-    injected: [AtomicU64; 6],
+    seq: [AtomicU64; 7],
+    injected: [AtomicU64; 7],
 }
 
 /// A frozen, shareable fault-injection plan. Cloning shares the per-site
@@ -261,8 +269,8 @@ impl FaultPlan {
     }
 
     /// Times each mode has fired, in [`ALL_MODES`] order.
-    pub fn injected_counts(&self) -> [(FaultMode, u64); 6] {
-        let mut out = [(FaultMode::ShortRead, 0); 6];
+    pub fn injected_counts(&self) -> [(FaultMode, u64); 7] {
+        let mut out = [(FaultMode::ShortRead, 0); 7];
         for (slot, mode) in out.iter_mut().zip(ALL_MODES) {
             let n =
                 self.inner.as_ref().map_or(0, |i| i.injected[mode.index()].load(Ordering::Relaxed));
@@ -351,7 +359,7 @@ mod tests {
     fn decision_streams_are_deterministic_per_seed() {
         let draw = |seed: u64| -> Vec<bool> {
             let plan = FaultSpec::new(seed).rate(0.3).all_modes().build();
-            (0..256).map(|i| plan.decide(ALL_MODES[i % 6])).collect()
+            (0..256).map(|i| plan.decide(ALL_MODES[i % ALL_MODES.len()])).collect()
         };
         assert_eq!(draw(7), draw(7));
         assert_ne!(draw(7), draw(8), "different seeds should differ");

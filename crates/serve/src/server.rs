@@ -32,9 +32,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rtt_core::{PreparedDesign, TimingModel};
-use rtt_netlist::{CellLibrary, TimingGraph};
+use rtt_core::{IncrementalCtx, PreparedDesign, TimingModel};
+use rtt_netlist::{CellId, CellLibrary, NetId, Netlist, PinId, TimingGraph};
 use rtt_nn::InferCtx;
+use rtt_place::{Placement, Point};
 
 use crate::fault::{FaultMode, FaultPlan};
 use crate::http::{parse_request, HttpError, Limits, ParseStatus, Request, Response};
@@ -103,11 +104,42 @@ struct Conn {
     deadline: Instant,
 }
 
+/// One registered design plus its incremental-inference state.
+///
+/// `sources` (the live netlist + placement) are retained only for designs
+/// registered through `/load`; designs seeded at boot arrive already
+/// prepared and cannot be transformed. `pending` accumulates the dirty
+/// seed pins of every `/transform` since the last incremental `/predict`;
+/// the union-of-seeds rule makes handing them over in one batch sound.
+/// `model_generation` records which model generation the activation cache
+/// was computed under — a `/reload` between predicts invalidates it.
+struct DesignEntry {
+    sources: Option<(Netlist, Placement)>,
+    prep: Arc<PreparedDesign>,
+    inc: IncrementalCtx,
+    pending: Vec<PinId>,
+    design_generation: u64,
+    model_generation: u64,
+}
+
+impl DesignEntry {
+    fn boot(prep: PreparedDesign) -> Self {
+        Self {
+            sources: None,
+            prep: Arc::new(prep),
+            inc: IncrementalCtx::new(),
+            pending: Vec::new(),
+            design_generation: 1,
+            model_generation: 0,
+        }
+    }
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     cfg: ServeConfig,
     swap: ModelSwap,
-    designs: Mutex<BTreeMap<String, Arc<PreparedDesign>>>,
+    designs: Mutex<BTreeMap<String, Arc<Mutex<DesignEntry>>>>,
     stats: Stats,
     queue: Queue<Conn>,
     stop: AtomicBool,
@@ -132,8 +164,10 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let registry: BTreeMap<String, Arc<PreparedDesign>> =
-            designs.into_iter().map(|(name, prep)| (name, Arc::new(prep))).collect();
+        let registry: BTreeMap<String, Arc<Mutex<DesignEntry>>> = designs
+            .into_iter()
+            .map(|(name, prep)| (name, Arc::new(Mutex::new(DesignEntry::boot(prep)))))
+            .collect();
         let shared = Arc::new(Shared {
             stats: Stats::new(cfg.workers.max(1), cfg.latency_window),
             queue: Queue::new(cfg.queue_capacity),
@@ -416,15 +450,17 @@ fn route(shared: &Shared, worker: usize, ctx: &InferCtx, req: &Request) -> Respo
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/stats") => stats_response(shared),
         ("POST", "/predict") => predict(shared, worker, ctx, req),
+        ("POST", "/transform") => transform(shared, req),
         ("POST", "/reload") => reload(shared),
         ("POST", "/load") => load_design(shared, req),
         ("POST", "/shutdown") => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
             Response::text(200, "shutting down\n")
         }
-        (_, "/healthz" | "/stats" | "/predict" | "/reload" | "/load" | "/shutdown") => {
-            Response::text(405, "method not allowed\n")
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/predict" | "/transform" | "/reload" | "/load" | "/shutdown",
+        ) => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     }
 }
@@ -454,17 +490,48 @@ fn stats_response(shared: &Shared) -> Response {
     Response::json(200, json)
 }
 
+/// Resolves a design by name (or the sole registered design when no name
+/// is given), or explains why it can't.
+fn resolve_design(
+    shared: &Shared,
+    design_name: Option<&str>,
+) -> Result<Arc<Mutex<DesignEntry>>, Response> {
+    let entry = {
+        let registry = shared.designs.lock().unwrap_or_else(PoisonError::into_inner);
+        match design_name {
+            Some(name) => registry.get(name).cloned(),
+            None if registry.len() == 1 => registry.values().next().cloned(),
+            None => {
+                return Err(Response::text(
+                    400,
+                    format!("design= is required ({} designs registered)\n", registry.len()),
+                ))
+            }
+        }
+    };
+    entry.ok_or_else(|| Response::text(404, "unknown design\n"))
+}
+
 /// `POST /predict` — body lines `design=NAME` (optional when exactly one
-/// design is registered) and `indices=0,5,9` (optional; defaults to all
-/// endpoints). Answers `n=COUNT` then one arrival per line, printed with
-/// Rust's shortest-round-trip float formatting so clients recover the
-/// f32 bits exactly.
+/// design is registered), `indices=0,5,9` (optional; defaults to all
+/// endpoints), and `mode=full|incremental` (optional; default `full`).
+/// Answers `n=COUNT` then one arrival per line, printed with Rust's
+/// shortest-round-trip float formatting so clients recover the f32 bits
+/// exactly.
+///
+/// `mode=incremental` routes through the design's [`IncrementalCtx`]:
+/// pending `/transform` dirty seeds are handed to the model, which
+/// recomputes only the dirtied fan-out cones and reuses the cached
+/// activations elsewhere — bit-identical to `mode=full` by construction.
+/// The cache is keyed to the model generation; a `/reload` in between
+/// resets it rather than mixing activations from two models.
 fn predict(shared: &Shared, worker: usize, ctx: &InferCtx, req: &Request) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::text(400, "body must be utf-8\n");
     };
     let mut design_name: Option<&str> = None;
     let mut indices_spec: Option<&str> = None;
+    let mut incremental = false;
     for line in body.lines() {
         let line = line.trim();
         if line.is_empty() {
@@ -473,26 +540,18 @@ fn predict(shared: &Shared, worker: usize, ctx: &InferCtx, req: &Request) -> Res
         match line.split_once('=') {
             Some(("design", v)) => design_name = Some(v),
             Some(("indices", v)) => indices_spec = Some(v),
+            Some(("mode", "full")) => incremental = false,
+            Some(("mode", "incremental")) => incremental = true,
+            Some(("mode", v)) => return Response::text(400, format!("unknown mode: {v}\n")),
             _ => return Response::text(400, format!("unrecognized body line: {line}\n")),
         }
     }
 
-    let design = {
-        let registry = shared.designs.lock().unwrap_or_else(PoisonError::into_inner);
-        match design_name {
-            Some(name) => registry.get(name).cloned(),
-            None if registry.len() == 1 => registry.values().next().cloned(),
-            None => {
-                return Response::text(
-                    400,
-                    format!("design= is required ({} designs registered)\n", registry.len()),
-                )
-            }
-        }
+    let entry = match resolve_design(shared, design_name) {
+        Ok(entry) => entry,
+        Err(resp) => return resp,
     };
-    let Some(design) = design else {
-        return Response::text(404, "unknown design\n");
-    };
+    let design = entry.lock().unwrap_or_else(PoisonError::into_inner).prep.clone();
 
     let n = design.num_endpoints() as u32;
     let indices: Vec<u32> = match indices_spec {
@@ -514,7 +573,27 @@ fn predict(shared: &Shared, worker: usize, ctx: &InferCtx, req: &Request) -> Res
 
     let state = shared.swap.current();
     let t0 = now();
-    let preds = state.model.predict_batch(ctx, &design, &indices);
+    let preds = if incremental {
+        // The entry stays locked for the whole incremental predict: the
+        // activation cache is per-design mutable state, and serializing
+        // its users is what keeps "cache + pending seeds" consistent.
+        let mut entry = entry.lock().unwrap_or_else(PoisonError::into_inner);
+        if entry.model_generation != state.generation {
+            entry.inc.reset();
+            entry.model_generation = state.generation;
+        }
+        let prep = Arc::clone(&entry.prep);
+        // A racing /transform may have republished since the indices were
+        // validated; re-check against the prep actually being served.
+        let n_now = prep.num_endpoints() as u32;
+        if let Some(&i) = indices.iter().find(|&&i| i >= n_now) {
+            return Response::text(422, format!("index {i} out of range (n={n_now})\n"));
+        }
+        let seeds = std::mem::take(&mut entry.pending);
+        state.model.predict_incremental(ctx, &mut entry.inc, &prep, &seeds, &indices)
+    } else {
+        state.model.predict_batch(ctx, &design, &indices)
+    };
     let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
     shared.stats.record_predict(latency_ms, preds.len());
     shared.stats.set_arena_bytes(worker, ctx.arena_bytes());
@@ -532,6 +611,171 @@ fn predict(shared: &Shared, worker: usize, ctx: &InferCtx, req: &Request) -> Res
         body.push('\n');
     }
     Response::text(200, body)
+}
+
+/// `POST /transform` — applies one netlist transform to a design that was
+/// registered through `/load` (boot-seeded designs arrive already
+/// prepared, without sources, and answer `422`).
+///
+/// Body lines: `design=NAME` (optional when exactly one design is
+/// registered), `op=buffer|resize|bypass|prune`, plus the op's operands:
+///
+/// * `op=buffer` — `net=I sink=I pos=X,Y`: insert a buffer between the
+///   net's driver and one sink, placed at `pos`.
+/// * `op=resize` — `cell=I drive=N`: swap the cell's master for the
+///   same-function variant at drive strength `N`.
+/// * `op=bypass` — `cell=I`: short-circuit a repeater (buffer) cell.
+/// * `op=prune` — remove dangling combinational logic.
+///
+/// The transform runs on *clones* of the stored netlist and placement and
+/// is published atomically only after everything — the mutation itself,
+/// the timing-graph rebuild, and feature preparation — has succeeded.
+/// Any failure (including an injected [`FaultMode::TransformAbort`])
+/// leaves the design, its generation, its pending dirty seeds, and its
+/// activation cache exactly as they were: a client that retries or falls
+/// back to `mode=full` observes no torn state. On success the response is
+/// `generation=G` (the bumped design generation) and `dirty=N` (dirty
+/// seed pins queued for the next incremental `/predict`).
+fn transform(shared: &Shared, req: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::text(400, "body must be utf-8\n");
+    };
+    let mut design_name: Option<&str> = None;
+    let mut op: Option<&str> = None;
+    let mut net: Option<u32> = None;
+    let mut sink: Option<u32> = None;
+    let mut cell: Option<u32> = None;
+    let mut drive: Option<u8> = None;
+    let mut pos: Option<Point> = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, v)) = line.split_once('=') else {
+            return Response::text(400, format!("unrecognized body line: {line}\n"));
+        };
+        let bad = |what: &str| Response::text(400, format!("bad {what}: {v}\n"));
+        match key {
+            "design" => design_name = Some(v),
+            "op" => op = Some(v),
+            "net" => match v.parse() {
+                Ok(i) => net = Some(i),
+                Err(_) => return bad("net"),
+            },
+            "sink" => match v.parse() {
+                Ok(i) => sink = Some(i),
+                Err(_) => return bad("sink"),
+            },
+            "cell" => match v.parse() {
+                Ok(i) => cell = Some(i),
+                Err(_) => return bad("cell"),
+            },
+            "drive" => match v.parse() {
+                Ok(i) => drive = Some(i),
+                Err(_) => return bad("drive"),
+            },
+            "pos" => match v
+                .split_once(',')
+                .and_then(|(x, y)| Some(Point::new(x.trim().parse().ok()?, y.trim().parse().ok()?)))
+            {
+                Some(p) => pos = Some(p),
+                None => return bad("pos"),
+            },
+            _ => return Response::text(400, format!("unrecognized body line: {line}\n")),
+        }
+    }
+    let Some(op) = op else {
+        return Response::text(400, "op= is required\n");
+    };
+
+    let entry = match resolve_design(shared, design_name) {
+        Ok(entry) => entry,
+        Err(resp) => return resp,
+    };
+    let mut entry = entry.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some((netlist, placement)) = &entry.sources else {
+        return Response::text(422, "design has no sources (boot-seeded designs are immutable)\n");
+    };
+
+    // Every mutation happens on clones; the stored entry is untouched
+    // until the single publish block at the end.
+    let library = CellLibrary::asap7_like();
+    let mut nl = netlist.clone();
+    let mut pl = placement.clone();
+    let need = |param: Option<u32>, what: &str| {
+        param.ok_or_else(|| Response::text(400, format!("{what}= is required for op={op}\n")))
+    };
+    let outcome: Result<(), Response> = (|| match op {
+        "buffer" => {
+            let net = NetId::from_index(need(net, "net")? as usize);
+            let sink = PinId::from_index(need(sink, "sink")? as usize);
+            let pos = pos.ok_or_else(|| {
+                Response::text(400, "pos= is required for op=buffer\n".to_owned())
+            })?;
+            if net.index() >= nl.net_capacity() || sink.index() >= nl.pin_capacity() {
+                return Err(Response::text(422, "net/sink id out of range\n"));
+            }
+            rtt_opt::insert_buffer(&mut nl, &mut pl, &library, net, sink, pos)
+                .map(drop)
+                .map_err(|e| Response::text(422, format!("{e}\n")))
+        }
+        "resize" => {
+            let cell = CellId::from_index(need(cell, "cell")? as usize);
+            let drive =
+                drive.ok_or_else(|| Response::text(400, "drive= is required for op=resize\n"))?;
+            if cell.index() >= nl.cell_capacity() || !nl.cell(cell).is_alive() {
+                return Err(Response::text(422, "cell id out of range or dead\n"));
+            }
+            let gate = library.cell_type(nl.cell(cell).type_id).gate;
+            let new_type = library.pick(gate, drive).ok_or_else(|| {
+                Response::text(422, format!("no drive-{drive} variant for this gate\n"))
+            })?;
+            nl.resize_cell(cell, new_type, &library)
+                .map_err(|e| Response::text(422, format!("{e}\n")))
+        }
+        "bypass" => {
+            let cell = CellId::from_index(need(cell, "cell")? as usize);
+            if cell.index() >= nl.cell_capacity() {
+                return Err(Response::text(422, "cell id out of range\n"));
+            }
+            rtt_opt::bypass_repeater(&mut nl, &library, cell)
+                .map_err(|e| Response::text(422, format!("{e}\n")))
+        }
+        "prune" => {
+            rtt_opt::prune_dangling(&mut nl, &library);
+            Ok(())
+        }
+        _ => Err(Response::text(400, format!("unknown op: {op}\n"))),
+    })();
+    if let Err(resp) = outcome {
+        return resp;
+    }
+
+    // The injected abort fires at the most adversarial moment: the clones
+    // are fully mutated but nothing has been published. The chaos suite
+    // asserts the next incremental /predict still matches a cold daemon.
+    if shared.cfg.faults.decide(FaultMode::TransformAbort) {
+        return Response::text(500, "injected transform abort\n");
+    }
+
+    let graph = match TimingGraph::try_build(&nl, &library) {
+        Ok(g) => g,
+        Err(e) => return Response::text(422, format!("timing graph: {e}\n")),
+    };
+    let config = shared.swap.current().model.config().clone();
+    let targets = vec![0.0f32; graph.endpoints().len()];
+    let prep = PreparedDesign::prepare(&nl, &library, &pl, &graph, &config, targets);
+    let seeds = rtt_opt::dirty_seed_pins(netlist, &nl);
+    let dirty = seeds.len();
+
+    // Publish: everything below is infallible, so partial updates are
+    // impossible.
+    entry.pending.extend(seeds);
+    entry.sources = Some((nl, pl));
+    entry.prep = Arc::new(prep);
+    entry.design_generation += 1;
+    Response::text(200, format!("generation={}\ndirty={dirty}\n", entry.design_generation))
 }
 
 /// `POST /reload` — re-reads the configured weights file (through the
@@ -605,10 +849,19 @@ fn load_design(shared: &Shared, req: &Request) -> Response {
     // prepare() wants one per endpoint.
     let targets = vec![0.0f32; endpoints];
     let prep = PreparedDesign::prepare(&netlist, &library, &placement, &graph, &config, targets);
+    // Keep the parsed sources: they are what /transform mutates.
+    let entry = DesignEntry {
+        sources: Some((netlist, placement)),
+        prep: Arc::new(prep),
+        inc: IncrementalCtx::new(),
+        pending: Vec::new(),
+        design_generation: 1,
+        model_generation: 0,
+    };
     shared
         .designs
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .insert(name.to_owned(), Arc::new(prep));
+        .insert(name.to_owned(), Arc::new(Mutex::new(entry)));
     Response::text(200, format!("endpoints={endpoints}\n"))
 }

@@ -37,5 +37,7 @@
 mod propagate;
 mod report;
 
-pub use propagate::{propagate, propagate_min, run_sta, WireModel, HOLD_REQUIREMENT_PS};
+pub use propagate::{
+    fanout_cone, propagate, propagate_min, run_sta, WireModel, HOLD_REQUIREMENT_PS,
+};
 pub use report::StaReport;

@@ -52,6 +52,30 @@ where
     arrival
 }
 
+/// Transitive fan-out cone of `seeds` (the seeds included), in the same
+/// PERT/topological order [`propagate`] visits nodes. One in-order sweep
+/// suffices because every edge points from an earlier to a later node in
+/// `topo_order`. This is the cone an incremental predictor must
+/// recompute when the seed pins change, and the cone a restructuring
+/// transform invalidates — callers use it both to bound dirty-set sizes
+/// and to pick transform sites with a target cone fraction.
+pub fn fanout_cone(graph: &TimingGraph, seeds: &[u32]) -> Vec<u32> {
+    let mut marked = vec![false; graph.num_nodes()];
+    for &s in seeds {
+        marked[s as usize] = true;
+    }
+    let mut cone = Vec::new();
+    for v in graph.topo_order() {
+        if !marked[v as usize] && graph.fanin(v).any(|e| marked[e.from as usize]) {
+            marked[v as usize] = true;
+        }
+        if marked[v as usize] {
+            cone.push(v);
+        }
+    }
+    cone
+}
+
 /// Min-delay counterpart of [`propagate`]: earliest arrival per node (the
 /// forward pass of hold-time analysis).
 pub fn propagate_min<D, S>(graph: &TimingGraph, mut edge_delay: D, mut source_time: S) -> Vec<f32>

@@ -87,6 +87,7 @@ fn usage() {
          \x20 gen  --design NAME [--scale tiny|small|paper] [--seed N] --out DIR\n\
          \x20 sta  --netlist FILE.v --placement FILE.place [--period PS]\n\
          \x20 opt  --netlist FILE.v --placement FILE.place --period PS --out DIR\n\
+         \x20      [--weights FILE]  (incremental model prediction across the opt)\n\
          \x20 flow --design NAME [--scale tiny|small|paper]\n\
          \x20 train   [--scale S] [--epochs N] --weights FILE\n\
          \x20 predict --netlist FILE.v --placement FILE.place --weights FILE\n\
@@ -222,6 +223,7 @@ fn cmd_opt(opts: &HashMap<String, String>) -> Result<(), String> {
         required(opts, "period")?.parse().map_err(|e| format!("bad --period: {e}"))?;
     let out = PathBuf::from(required(opts, "out")?);
     let before = netlist.clone();
+    let before_placement = placement.clone();
     let report = optimize(
         &mut netlist,
         &mut placement,
@@ -243,8 +245,83 @@ fn cmd_opt(opts: &HashMap<String, String>) -> Result<(), String> {
         diff.net_replaced_fraction() * 100.0,
         diff.cell_replaced_fraction() * 100.0,
     );
+    // Optional model-in-the-loop: with --weights, predict the optimized
+    // design incrementally from a cache primed on the input design, and
+    // check the result against a cold full forward pass.
+    if let Some(weights) = opts.get("weights").filter(|w| !w.is_empty()) {
+        let scale = opt_scale(opts)?;
+        opt_incremental_report(
+            &lib,
+            (&before, &before_placement),
+            (&netlist, &placement),
+            weights,
+            scale,
+        )?;
+    }
     let stem = format!("{}_opt", netlist.name);
     write_design(&out, &stem, &netlist, &lib, &placement)
+}
+
+/// Predicts the optimized design's endpoint arrivals twice — incrementally
+/// (reusing the activations cached for the pre-optimization design, dirty
+/// cones seeded by [`restructure_timing::opt::dirty_seed_pins`]) and with
+/// a cold full forward — reporting the reuse ratio and verifying the two
+/// agree bit-for-bit.
+fn opt_incremental_report(
+    lib: &CellLibrary,
+    (before, before_placement): (&Netlist, &Placement),
+    (after, after_placement): (&Netlist, &Placement),
+    weights: &str,
+    scale: Scale,
+) -> Result<(), String> {
+    use restructure_timing::model::{IncrementalCtx, ROWS_RECOMPUTED_COUNTER, ROWS_TOTAL_COUNTER};
+    use restructure_timing::nn::InferCtx;
+
+    let model = load_model_file(weights, scale)?;
+    let cfg = model.config().clone();
+    let prepare = |nl: &Netlist, pl: &Placement| -> Result<PreparedDesign, String> {
+        let graph = TimingGraph::try_build(nl, lib).map_err(|e| format!("timing graph: {e}"))?;
+        let targets = vec![0.0; graph.endpoints().len()];
+        Ok(PreparedDesign::prepare(nl, lib, pl, &graph, &cfg, targets))
+    };
+    let prep_before = prepare(before, before_placement)?;
+    let prep_after = prepare(after, after_placement)?;
+
+    let ctx = InferCtx::new();
+    let mut inc = IncrementalCtx::new();
+    // Prime the cache with a full pass over the input design (no seeds,
+    // cold cache: this is an ordinary forward).
+    let all_before: Vec<u32> = (0..prep_before.num_endpoints() as u32).collect();
+    let _ = model.predict_incremental(&ctx, &mut inc, &prep_before, &[], &all_before);
+
+    let seeds = restructure_timing::opt::dirty_seed_pins(before, after);
+    let all_after: Vec<u32> = (0..prep_after.num_endpoints() as u32).collect();
+    let counters_at =
+        |key: &str| restructure_timing::obs::snapshot().counters.get(key).copied().unwrap_or(0);
+    let (rows0, total0) = (counters_at(ROWS_RECOMPUTED_COUNTER), counters_at(ROWS_TOTAL_COUNTER));
+    let t0 = std::time::Instant::now();
+    let inc_pred = model.predict_incremental(&ctx, &mut inc, &prep_after, &seeds, &all_after);
+    let inc_s = t0.elapsed().as_secs_f64();
+    let rows = counters_at(ROWS_RECOMPUTED_COUNTER) - rows0;
+    let total = counters_at(ROWS_TOTAL_COUNTER) - total0;
+
+    let t1 = std::time::Instant::now();
+    let full_pred = model.predict_batch(&ctx, &prep_after, &all_after);
+    let full_s = t1.elapsed().as_secs_f64();
+    let identical = inc_pred.len() == full_pred.len()
+        && inc_pred.iter().zip(&full_pred).all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "incremental predict: {} dirty seed pins, {rows}/{total} rows recomputed, \
+         {:.1} ms vs {:.1} ms full",
+        seeds.len(),
+        inc_s * 1e3,
+        full_s * 1e3,
+    );
+    if !identical {
+        return Err("incremental prediction diverged from the full forward pass".to_owned());
+    }
+    println!("incremental prediction is bit-identical to the full forward pass");
+    Ok(())
 }
 
 /// Model architecture per scale (must match between `train` and `predict`).

@@ -221,3 +221,128 @@ fn daemon_serves_bit_exact_predictions_reloads_and_drains() {
     assert!(report.stats.responses_2xx >= 8);
     drop(std::fs::remove_dir_all(dir));
 }
+
+/// Server-side restructuring: `/load` a design with sources, `/transform`
+/// it, and check an incremental `/predict` is byte-identical to a cold
+/// daemon booted directly on the transformed design. Then, under a
+/// mid-transform injected abort, check the design and its activation
+/// cache are left exactly as they were (no torn state, no stale cache).
+#[test]
+fn daemon_transforms_designs_and_serves_incremental_predictions() {
+    use restructure_timing::opt;
+    use restructure_timing::serve::fault::{FaultMode, FaultSpec};
+
+    let (lib, nl, pl, _) = fixture(6);
+    let cfg = ModelConfig::tiny();
+    let model = TimingModel::new(cfg.clone());
+
+    let server = Server::start(ServeConfig::default(), model.clone(), vec![])
+        .expect("daemon starts on an ephemeral port");
+    let addr = server.addr();
+
+    // Register the design over HTTP so the daemon retains its sources.
+    let verilog = write_verilog(&nl, &lib);
+    let placement_txt = write_placement(&nl, &pl);
+    let mut load_body = verilog.clone().into_bytes();
+    load_body.extend_from_slice(placement_txt.as_bytes());
+    let (status, body) = http(
+        addr,
+        &post("/load?name=rca", &format!("X-Netlist-Bytes: {}\r\n", verilog.len()), &load_body),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    // The text round-trip can reorder cells/pins; the reference mirrors
+    // the server by re-parsing the same serialized files.
+    let mut nl = restructure_timing::netlist::parse_verilog(&verilog, &lib).expect("round-trip");
+    let mut pl =
+        restructure_timing::place::parse_placement(&nl, &placement_txt).expect("round-trip");
+
+    // Priming pass: a cold incremental predict is an ordinary full
+    // forward, so its response must already be byte-identical to full mode.
+    let (status, warm0) = http(addr, &post("/predict", "", b"design=rca\nmode=incremental\n"));
+    assert_eq!(status, 200);
+    let (status, full0) = http(addr, &post("/predict", "", b"design=rca\nmode=full\n"));
+    assert_eq!(status, 200);
+    assert_eq!(warm0, full0, "cold incremental /predict must equal full /predict byte-for-byte");
+
+    // Transform server-side: insert a buffer on the first sink-bearing net.
+    let (net, sink) = nl
+        .nets()
+        .find_map(|(id, n)| n.sinks.first().map(|&s| (id, s)))
+        .expect("fixture has a net with sinks");
+    let a = pl.pin_position(&nl, nl.net(net).driver);
+    let b = pl.pin_position(&nl, sink);
+    let pos = restructure_timing::place::Point::new((a.x + b.x) * 0.5, (a.y + b.y) * 0.5);
+    let req = format!(
+        "design=rca\nop=buffer\nnet={}\nsink={}\npos={},{}\n",
+        net.index(),
+        sink.index(),
+        pos.x,
+        pos.y
+    );
+    let (status, body) = http(addr, &post("/transform", "", req.as_bytes()));
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8(body).expect("utf-8 transform body");
+    assert!(text.starts_with("generation=2\n"), "design generation must bump: {text:?}");
+    let dirty: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("dirty="))
+        .and_then(|v| v.parse().ok())
+        .expect("dirty= line");
+    assert!(dirty >= 1, "buffer insertion must seed dirty pins");
+
+    // Cold daemon booted directly on the transformed design: the warm
+    // daemon's incremental response must match it byte-for-byte.
+    opt::insert_buffer(&mut nl, &mut pl, &lib, net, sink, pos).expect("reference transform");
+    let graph_t = TimingGraph::build(&nl, &lib);
+    let prep_t = prepared(&lib, &nl, &pl, &graph_t, &cfg);
+    let cold_server =
+        Server::start(ServeConfig::default(), model.clone(), vec![("rca".to_owned(), prep_t)])
+            .expect("cold daemon starts");
+    let (status, cold) = http(cold_server.addr(), &post("/predict", "", b"design=rca\n"));
+    assert_eq!(status, 200);
+    let (status, warm) = http(addr, &post("/predict", "", b"design=rca\nmode=incremental\n"));
+    assert_eq!(status, 200);
+    assert_eq!(warm, cold, "incremental /predict must be byte-identical to a cold daemon");
+
+    // Index subsets ride the same cache.
+    let (status, cold_sub) =
+        http(cold_server.addr(), &post("/predict", "", b"design=rca\nindices=2,0,5\n"));
+    assert_eq!(status, 200);
+    let (status, warm_sub) =
+        http(addr, &post("/predict", "", b"design=rca\nindices=2,0,5\nmode=incremental\n"));
+    assert_eq!(status, 200);
+    assert_eq!(warm_sub, cold_sub, "subset predictions too");
+
+    // Chaos: with TransformAbort firing on every decision, /transform
+    // mutates its working copies, then aborts before publishing. Nothing
+    // — generation, pending seeds, activation cache — may change.
+    let chaos_cfg = ServeConfig {
+        faults: FaultSpec::new(11).mode(FaultMode::TransformAbort, 1.0).build(),
+        ..ServeConfig::default()
+    };
+    let chaos = Server::start(chaos_cfg, model, vec![]).expect("chaos daemon starts");
+    let (status, body) = http(
+        chaos.addr(),
+        &post("/load?name=rca", &format!("X-Netlist-Bytes: {}\r\n", verilog.len()), &load_body),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let (status, primed) =
+        http(chaos.addr(), &post("/predict", "", b"design=rca\nmode=incremental\n"));
+    assert_eq!(status, 200);
+    let (status, body) = http(chaos.addr(), &post("/transform", "", req.as_bytes()));
+    assert_eq!(status, 500, "injected abort must surface as 500");
+    assert_eq!(body, b"injected transform abort\n");
+    let (status, after_abort) =
+        http(chaos.addr(), &post("/predict", "", b"design=rca\nmode=incremental\n"));
+    assert_eq!(status, 200);
+    assert_eq!(after_abort, primed, "an aborted transform must not leave a stale cache");
+    let (status, after_full) = http(chaos.addr(), &post("/predict", "", b"design=rca\n"));
+    assert_eq!(status, 200);
+    assert_eq!(after_abort, after_full, "incremental still agrees with full after the abort");
+
+    // The injected fault is visible on /stats.
+    let (status, body) = http(chaos.addr(), &get("/stats"));
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf-8 stats");
+    assert!(text.contains("\"transform_abort\":1"), "stats must count the injected abort: {text}");
+}
