@@ -16,7 +16,8 @@ fn main() {
     let dataset = Dataset::generate(&FlowConfig { scale: cli.scale, ..FlowConfig::default() });
     let (model, default_epochs) = match cli.scale {
         Scale::Tiny => (ModelConfig::tiny(), 10),
-        Scale::Small => (ModelConfig::small(), 300),
+        // Huge scales the circuits for prepare benchmarks, not the model.
+        Scale::Small | Scale::Huge => (ModelConfig::small(), 300),
         Scale::Paper => (ModelConfig::paper(), 200),
     };
     let epochs = cli.epochs.unwrap_or(default_epochs);

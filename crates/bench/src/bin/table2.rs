@@ -17,7 +17,8 @@ fn main() {
 
     let (model, epochs, two_stage, guo) = match cli.scale {
         Scale::Tiny => (ModelConfig::tiny(), 40, 80, 10),
-        Scale::Small => (ModelConfig::small(), 300, 800, 120),
+        // Huge scales the circuits for prepare benchmarks, not the model.
+        Scale::Small | Scale::Huge => (ModelConfig::small(), 300, 800, 120),
         Scale::Paper => (ModelConfig::paper(), 200, 2000, 200),
     };
     let epochs = cli.epochs.unwrap_or(epochs);

@@ -15,7 +15,8 @@ fn main() {
     let dataset = Dataset::generate(&FlowConfig { scale: cli.scale, ..FlowConfig::default() });
     let model_cfg = match cli.scale {
         Scale::Tiny => ModelConfig::tiny(),
-        Scale::Small => ModelConfig::small(),
+        // Huge scales the circuits for prepare benchmarks, not the model.
+        Scale::Small | Scale::Huge => ModelConfig::small(),
         Scale::Paper => ModelConfig::paper(),
     };
     let mut rows = table3(&dataset, &model_cfg);

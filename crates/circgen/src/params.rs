@@ -13,6 +13,9 @@ pub enum Scale {
     /// Default experiment scale: single-core minutes per table.
     #[default]
     Small,
+    /// 8× `Small`: the perfsuite's cold-vs-delta preparation tier —
+    /// large enough that preparation cost dominates, still CPU-minutes.
+    Huge,
     /// Full paper-scale pin counts (hours of CPU time).
     Paper,
 }
@@ -23,6 +26,7 @@ impl Scale {
         match self {
             Scale::Tiny => 0.025,
             Scale::Small => 1.0,
+            Scale::Huge => 8.0,
             Scale::Paper => 40.0,
         }
     }
@@ -33,6 +37,7 @@ impl std::fmt::Display for Scale {
         f.write_str(match self {
             Scale::Tiny => "tiny",
             Scale::Small => "small",
+            Scale::Huge => "huge",
             Scale::Paper => "paper",
         })
     }
@@ -45,8 +50,9 @@ impl std::str::FromStr for Scale {
         match s {
             "tiny" => Ok(Scale::Tiny),
             "small" => Ok(Scale::Small),
+            "huge" => Ok(Scale::Huge),
             "paper" => Ok(Scale::Paper),
-            other => Err(format!("unknown scale `{other}` (expected tiny|small|paper)")),
+            other => Err(format!("unknown scale `{other}` (expected tiny|small|huge|paper)")),
         }
     }
 }
@@ -119,15 +125,16 @@ mod tests {
     #[test]
     fn scale_factors_are_ordered() {
         assert!(Scale::Tiny.factor() < Scale::Small.factor());
-        assert!(Scale::Small.factor() < Scale::Paper.factor());
+        assert!(Scale::Small.factor() < Scale::Huge.factor());
+        assert!(Scale::Huge.factor() < Scale::Paper.factor());
     }
 
     #[test]
     fn scale_parses_and_displays() {
-        for s in [Scale::Tiny, Scale::Small, Scale::Paper] {
+        for s in [Scale::Tiny, Scale::Small, Scale::Huge, Scale::Paper] {
             assert_eq!(s.to_string().parse::<Scale>().unwrap(), s);
         }
-        assert!("huge".parse::<Scale>().is_err());
+        assert!("gigantic".parse::<Scale>().is_err());
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct GnnSchedule {
 /// permutation becomes per-group scatter destinations. All of it is
 /// index arithmetic done once per design, so the per-pass inner loops are
 /// straight-line gathers, contiguous reductions, and row memcpys.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct GnnPlan {
     pub(crate) levels: Vec<FlatLevel>,
     /// Flat row of each endpoint, aligned with `TimingGraph::endpoints()`.
@@ -55,7 +55,7 @@ pub(crate) struct GnnPlan {
     pub(crate) level_off: Vec<u32>,
 }
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct FlatLevel {
     pub(crate) n_cells: usize,
     pub(crate) n_nets: usize,
@@ -161,7 +161,7 @@ impl GnnPlan {
     }
 }
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 struct LevelPlan {
     cell_nodes: Vec<u32>,
     net_nodes: Vec<u32>,
@@ -293,6 +293,20 @@ impl GnnSchedule {
     /// matches rows across netlist edits through this.
     pub fn flat_row_pins(&self) -> &[PinId] {
         &self.pin_of_row
+    }
+
+    /// Structural equality down to the bit: every index vector and every
+    /// derived float compared (fanin means are built from small integer
+    /// counts, so `==` coincides with bit equality — no NaN or negative
+    /// zero can occur). Verification support for the delta-prepare path,
+    /// whose schedules must be indistinguishable from a cold
+    /// [`GnnSchedule::build`].
+    pub fn bit_eq(&self, other: &Self) -> bool {
+        self.levels == other.levels
+            && self.endpoint_locs == other.endpoint_locs
+            && self.node_loc == other.node_loc
+            && self.plan == other.plan
+            && self.pin_of_row == other.pin_of_row
     }
 
     /// The flat execution plan (crate-internal: the incremental engine

@@ -63,4 +63,8 @@ pub use incremental::{
     ROWS_TOTAL_COUNTER,
 };
 pub use model::{TimingModel, TrainLog};
-pub use prepare::PreparedDesign;
+pub use prepare::{
+    PrepareCtx, PreparedDesign, PREP_FEAT_ROWS_RECOMPUTED_COUNTER, PREP_FEAT_ROWS_TOTAL_COUNTER,
+    PREP_MAP_BINS_RECOMPUTED_COUNTER, PREP_MAP_BINS_TOTAL_COUNTER, PREP_MASKS_RECOMPUTED_COUNTER,
+    PREP_MASKS_TOTAL_COUNTER,
+};

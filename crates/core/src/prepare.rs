@@ -1,12 +1,86 @@
-//! Per-design preprocessing: everything the model needs, computed once.
+//! Per-design preprocessing: everything the model needs, computed once —
+//! and, after a restructuring transform, *updated* instead of recomputed:
+//! [`PreparedDesign::update`] reuses the prior schedule, node features,
+//! layout maps, and endpoint masks, recomputing only what the transform's
+//! dirty cone invalidates (see DESIGN.md "Preparation pipeline").
 
-use rtt_features::{endpoint_masks, LayoutMaps, NodeFeatures};
-use rtt_netlist::{CellLibrary, Netlist, TimingGraph};
+use rtt_features::{endpoint_masks, endpoint_masks_sparse_for, LayoutMaps, NodeFeatures};
+use rtt_netlist::{CellId, CellLibrary, Netlist, NodeKind, PinId, TimingGraph};
 use rtt_nn::Tensor;
 use rtt_place::Placement;
 
 use crate::gnn::{GnnSchedule, LevelFeats};
 use crate::ModelConfig;
+
+/// Flat counter: endpoint masks recomputed by the delta-prepare path.
+pub const PREP_MASKS_RECOMPUTED_COUNTER: &str = "core::prepare_masks_recomputed";
+/// Flat counter: total endpoints seen by the delta-prepare path.
+pub const PREP_MASKS_TOTAL_COUNTER: &str = "core::prepare_masks_total";
+/// Flat counter: node-feature rows recomputed by the delta-prepare path.
+pub const PREP_FEAT_ROWS_RECOMPUTED_COUNTER: &str = "core::prepare_feat_rows_recomputed";
+/// Flat counter: total node-feature rows seen by the delta-prepare path.
+pub const PREP_FEAT_ROWS_TOTAL_COUNTER: &str = "core::prepare_feat_rows_total";
+/// Flat counter: layout-map bins recomputed by the delta-prepare path.
+pub const PREP_MAP_BINS_RECOMPUTED_COUNTER: &str = "core::prepare_map_bins_recomputed";
+/// Flat counter: total layout-map bins seen by the delta-prepare path.
+pub const PREP_MAP_BINS_TOTAL_COUNTER: &str = "core::prepare_map_bins_total";
+
+/// Retained preparation state that lets [`PreparedDesign::update`] carry
+/// clean work forward across a transform: the per-node feature rows and
+/// raw layout maps of the *previous* preparation, plus the pin-keyed
+/// identity of its graph (pins and flat rows are not stable across a
+/// tombstoning edit; [`PinId`]s are).
+#[derive(Clone, Debug)]
+pub struct PrepareCtx {
+    /// Per-node feature rows of the previous graph.
+    features: NodeFeatures,
+    /// Previous graph: node → pin.
+    pins: Vec<PinId>,
+    /// Previous graph: node kinds.
+    kinds: Vec<NodeKind>,
+    /// Previous graph: pin index → node (`u32::MAX` = not a node).
+    node_of_pin: Vec<u32>,
+    /// Previous graph: edge count (structure-identity check).
+    num_edges: usize,
+    /// Raw (un-stacked) layout maps, maintained by dirty-bin deltas.
+    layout: LayoutMaps,
+    /// Pin index → endpoint ordinal of the previous prepared design
+    /// (`u32::MAX` = not an endpoint).
+    mask_of_pin: Vec<u32>,
+}
+
+impl PrepareCtx {
+    fn capture(
+        netlist: &Netlist,
+        graph: &TimingGraph,
+        features: NodeFeatures,
+        layout: LayoutMaps,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let mut pins = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        let mut node_of_pin = vec![u32::MAX; netlist.pin_capacity()];
+        for v in 0..n as u32 {
+            let p = graph.pin_of(v);
+            pins.push(p);
+            kinds.push(graph.node_kind(v));
+            node_of_pin[p.index()] = v;
+        }
+        let mut mask_of_pin = vec![u32::MAX; netlist.pin_capacity()];
+        for (i, &ep) in graph.endpoints().iter().enumerate() {
+            mask_of_pin[graph.pin_of(ep).index()] = i as u32;
+        }
+        Self {
+            features,
+            pins,
+            kinds,
+            node_of_pin,
+            num_edges: graph.num_edges(),
+            layout,
+            mask_of_pin,
+        }
+    }
+}
 
 /// A design converted into model inputs: GNN schedule and features, stacked
 /// layout maps, endpoint masks, and (optionally meaningful) targets.
@@ -56,6 +130,19 @@ impl PreparedDesign {
         config: &ModelConfig,
         targets: Vec<f32>,
     ) -> Self {
+        Self::prepare_full(netlist, library, placement, graph, config, targets).0
+    }
+
+    /// [`Self::prepare`], additionally returning the [`PrepareCtx`] that
+    /// [`Self::update`] needs to carry clean work across a transform.
+    pub fn prepare_full(
+        netlist: &Netlist,
+        library: &CellLibrary,
+        placement: &Placement,
+        graph: &TimingGraph,
+        config: &ModelConfig,
+        targets: Vec<f32>,
+    ) -> (Self, PrepareCtx) {
         rtt_obs::span!("core::prepare");
         assert_eq!(targets.len(), graph.endpoints().len(), "one target per endpoint");
         let schedule = GnnSchedule::build(graph);
@@ -74,7 +161,273 @@ impl PreparedDesign {
             })
             .collect();
 
-        Self { name: netlist.name.clone(), schedule, feats, maps, masks, mask_grid: mg, targets }
+        let ctx = PrepareCtx::capture(netlist, graph, features, layout);
+        let prep = Self {
+            name: netlist.name.clone(),
+            schedule,
+            feats,
+            maps,
+            masks,
+            mask_grid: mg,
+            targets,
+        };
+        (prep, ctx)
+    }
+
+    /// Delta preparation: derives `after`'s [`PreparedDesign`] from
+    /// `self` (the preparation of `before`), recomputing only what the
+    /// transform's dirty cone invalidates and carrying everything else
+    /// over. Bit-identical to a cold [`Self::prepare`] of `after`.
+    ///
+    /// * `ctx` — the context returned by [`Self::prepare_full`] (or a
+    ///   previous `update`) for `before`; replaced in place so updates
+    ///   chain across a transform sequence.
+    /// * `seeds` — `opt::dirty_seed_pins(before, after)`: every pin whose
+    ///   gather topology may have changed. `update` augments this with
+    ///   pins whose placement moved and with net sinks whose driver pin
+    ///   is dirty (their net-distance feature reads the driver position).
+    /// * `graph` — `after`'s freshly built [`TimingGraph`].
+    ///
+    /// Invalidation rules (soundness argument in DESIGN.md):
+    /// * **schedule** — rebuilt unless the node/edge structure is
+    ///   provably identical (same pins, same kinds, same edge count, an
+    ///   empty dirty set), in which case the previous plan is reused;
+    /// * **node features** — recomputed for dirty pins only, rows of
+    ///   clean pins copied across by pin id;
+    /// * **layout maps** — dirty-bin re-accumulation via
+    ///   [`LayoutMaps::update_delta`];
+    /// * **endpoint masks** — recomputed only for endpoints inside the
+    ///   fan-out cone of the dirty node set (an endpoint's mask depends
+    ///   only on its fan-in cone, so a clean cone means an identical
+    ///   longest path over identical pin positions).
+    ///
+    /// A floorplan or grid-configuration change invalidates everything
+    /// and falls back to a cold prepare internally.
+    ///
+    /// Both netlists must share an id space (`after` produced by mutating
+    /// a clone of `before`), exactly as for `opt::dirty_seed_pins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the endpoint count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update(
+        &self,
+        ctx: &mut PrepareCtx,
+        before: (&Netlist, &Placement),
+        after: (&Netlist, &Placement),
+        library: &CellLibrary,
+        graph: &TimingGraph,
+        config: &ModelConfig,
+        seeds: &[PinId],
+        targets: Vec<f32>,
+    ) -> Self {
+        rtt_obs::span!("core::prepare_delta");
+        let (bnl, bpl) = before;
+        let (anl, apl) = after;
+        assert_eq!(targets.len(), graph.endpoints().len(), "one target per endpoint");
+
+        // Global invalidation: a floorplan or resolution change touches
+        // every feature at once — delta bookkeeping would all be dirty.
+        if bpl.floorplan().die != apl.floorplan().die
+            || bpl.floorplan().macros != apl.floorplan().macros
+            || ctx.layout.grid() != config.grid
+            || self.mask_grid != config.pooled_grid()
+        {
+            let (prep, fresh) = Self::prepare_full(anl, library, apl, graph, config, targets);
+            *ctx = fresh;
+            let n = prep.schedule.num_nodes() as u64;
+            let eps = prep.masks.len() as u64;
+            let bins = 3 * (config.grid * config.grid) as u64;
+            rtt_obs::add_many(&[
+                (PREP_MASKS_RECOMPUTED_COUNTER, eps),
+                (PREP_MASKS_TOTAL_COUNTER, eps),
+                (PREP_FEAT_ROWS_RECOMPUTED_COUNTER, n),
+                (PREP_FEAT_ROWS_TOTAL_COUNTER, n),
+                (PREP_MAP_BINS_RECOMPUTED_COUNTER, bins),
+                (PREP_MAP_BINS_TOTAL_COUNTER, bins),
+            ]);
+            return prep;
+        }
+
+        // Dirty pin mask over `after`'s id space: caller seeds, pins of
+        // moved cells and moved ports, then one net hop so sinks reading
+        // a dirty driver's position recompute their distance feature.
+        let n = graph.num_nodes();
+        let mut dirty_pin = vec![false; anl.pin_capacity()];
+        for &p in seeds {
+            if p.index() < dirty_pin.len() {
+                dirty_pin[p.index()] = true;
+            }
+        }
+        for ci in 0..anl.cell_capacity().min(bnl.cell_capacity()) {
+            let cid = CellId::from_index(ci);
+            if !(anl.cell(cid).is_alive() && bnl.cell(cid).is_alive()) {
+                continue;
+            }
+            let (a, b) = (apl.cell_pos(cid), bpl.cell_pos(cid));
+            if a.x.to_bits() != b.x.to_bits() || a.y.to_bits() != b.y.to_bits() {
+                let cell = anl.cell(cid);
+                for &p in &cell.inputs {
+                    dirty_pin[p.index()] = true;
+                }
+                dirty_pin[cell.output.index()] = true;
+            }
+        }
+        for &p in anl.input_ports().iter().chain(anl.output_ports()) {
+            let existed = p.index() < bnl.pin_capacity() && bnl.pin(p).is_alive();
+            if existed {
+                let (a, b) = (apl.pin_position(anl, p), bpl.pin_position(bnl, p));
+                if a.x.to_bits() != b.x.to_bits() || a.y.to_bits() != b.y.to_bits() {
+                    dirty_pin[p.index()] = true;
+                }
+            }
+        }
+        for (_, net) in anl.nets() {
+            if dirty_pin[net.driver.index()] {
+                for &s in &net.sinks {
+                    dirty_pin[s.index()] = true;
+                }
+            }
+        }
+        let any_dirty = dirty_pin.iter().any(|&d| d);
+
+        // Schedule: reuse iff the graph is provably identical. With an
+        // empty dirty set, equal pin lists and kinds imply equal edges
+        // (any live edge change seeds its sink; any node change alters
+        // the pin list), so equal edge counts close the argument.
+        let structure_unchanged = !any_dirty
+            && n == ctx.pins.len()
+            && graph.num_edges() == ctx.num_edges
+            && (0..n as u32).all(|v| {
+                graph.pin_of(v) == ctx.pins[v as usize]
+                    && graph.node_kind(v) == ctx.kinds[v as usize]
+            });
+        let schedule =
+            if structure_unchanged { self.schedule.clone() } else { GnnSchedule::build(graph) };
+
+        // Node features: recompute dirty rows, copy the rest by pin.
+        let (features, feat_recomputed) = NodeFeatures::extract_delta(
+            anl,
+            library,
+            graph,
+            apl,
+            &ctx.features,
+            &ctx.node_of_pin,
+            &ctx.kinds,
+            &dirty_pin,
+        );
+        let feats = if structure_unchanged && feat_recomputed == 0 {
+            self.feats.clone()
+        } else {
+            LevelFeats::assemble(&schedule, &features)
+        };
+
+        // Layout maps: dirty-bin re-accumulation, then a full re-stack
+        // (max-normalization is global by definition).
+        let (map_bins_recomputed, map_bins_total) =
+            ctx.layout.update_delta((bnl, bpl), (anl, apl), library);
+        let maps = Tensor::from_vec(&[3, config.grid, config.grid], ctx.layout.stacked());
+
+        // Endpoint masks: recompute inside the dirty fan-out cone, carry
+        // clean rows over by endpoint pin.
+        let mg = config.pooled_grid();
+        let cone_seeds: Vec<u32> = (0..n as u32)
+            .filter(|&v| {
+                let p = graph.pin_of(v);
+                dirty_pin[p.index()]
+                    || ctx.node_of_pin.get(p.index()).copied().unwrap_or(u32::MAX) == u32::MAX
+            })
+            .collect();
+        let mut node_dirty = vec![false; n];
+        for &v in &rtt_sta::fanout_cone(graph, &cone_seeds) {
+            node_dirty[v as usize] = true;
+        }
+        let eps = graph.endpoints();
+        let mut masks: Vec<Vec<u32>> = Vec::with_capacity(eps.len());
+        let mut recompute: Vec<(usize, u32)> = Vec::new();
+        for (i, &ep) in eps.iter().enumerate() {
+            let p = graph.pin_of(ep);
+            let prev = ctx.mask_of_pin.get(p.index()).copied().unwrap_or(u32::MAX);
+            if !node_dirty[ep as usize] && prev != u32::MAX {
+                masks.push(self.masks[prev as usize].clone());
+            } else {
+                masks.push(Vec::new());
+                recompute.push((i, ep));
+            }
+        }
+        let nodes: Vec<u32> = recompute.iter().map(|&(_, ep)| ep).collect();
+        let rows = endpoint_masks_sparse_for(anl, apl, graph, mg, &nodes);
+        for (&(i, _), row) in recompute.iter().zip(rows) {
+            masks[i] = row;
+        }
+
+        rtt_obs::add_many(&[
+            (PREP_MASKS_RECOMPUTED_COUNTER, recompute.len() as u64),
+            (PREP_MASKS_TOTAL_COUNTER, eps.len() as u64),
+            (PREP_FEAT_ROWS_RECOMPUTED_COUNTER, feat_recomputed as u64),
+            (PREP_FEAT_ROWS_TOTAL_COUNTER, n as u64),
+            (PREP_MAP_BINS_RECOMPUTED_COUNTER, map_bins_recomputed),
+            (PREP_MAP_BINS_TOTAL_COUNTER, map_bins_total),
+        ]);
+
+        // Refresh the context for the next chained update. The layout
+        // maps were already updated in place.
+        let layout = ctx.layout.clone();
+        *ctx = PrepareCtx::capture(anl, graph, features, layout);
+
+        Self { name: anl.name.clone(), schedule, feats, maps, masks, mask_grid: mg, targets }
+    }
+
+    /// Field-by-field bit equality against `other`, reporting the first
+    /// divergent field — the verification contract of [`Self::update`]
+    /// (a delta-updated preparation must be indistinguishable from a
+    /// cold one).
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first mismatching field.
+    pub fn bit_eq(&self, other: &Self) -> Result<(), String> {
+        if self.name != other.name {
+            return Err(format!("name: {} vs {}", self.name, other.name));
+        }
+        if self.mask_grid != other.mask_grid {
+            return Err(format!("mask_grid: {} vs {}", self.mask_grid, other.mask_grid));
+        }
+        if !self.schedule.bit_eq(&other.schedule) {
+            return Err("schedule".into());
+        }
+        let opt_tensor = |a: Option<&Tensor>, b: Option<&Tensor>| match (a, b) {
+            (Some(a), Some(b)) => {
+                a.shape() == b.shape()
+                    && a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        let tensor_list = |a: &[Option<Tensor>], b: &[Option<Tensor>]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| opt_tensor(x.as_ref(), y.as_ref()))
+        };
+        if !tensor_list(&self.feats.cell, &other.feats.cell)
+            || !tensor_list(&self.feats.net, &other.feats.net)
+            || !tensor_list(&self.feats.source, &other.feats.source)
+            || !opt_tensor(self.feats.cell_src_flat.as_ref(), other.feats.cell_src_flat.as_ref())
+            || !opt_tensor(self.feats.net_flat.as_ref(), other.feats.net_flat.as_ref())
+        {
+            return Err("feats".into());
+        }
+        if !opt_tensor(Some(&self.maps), Some(&other.maps)) {
+            return Err("maps".into());
+        }
+        if self.masks != other.masks {
+            return Err("masks".into());
+        }
+        if self.targets.len() != other.targets.len()
+            || self.targets.iter().zip(&other.targets).any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err("targets".into());
+        }
+        Ok(())
     }
 
     /// Number of endpoints (prediction rows).
@@ -151,5 +504,93 @@ mod tests {
         let pl = place(&nl, &lib, 0, &PlaceConfig::default());
         let graph = TimingGraph::build(&nl, &lib);
         let _ = PreparedDesign::prepare(&nl, &lib, &pl, &graph, &ModelConfig::tiny(), vec![]);
+    }
+
+    fn counter(key: &str) -> u64 {
+        rtt_obs::snapshot().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Chained delta updates (buffer insertion, then a cell move, then a
+    /// no-op) each yield a `PreparedDesign` bit-identical to a cold
+    /// prepare, and the no-op step recomputes nothing.
+    #[test]
+    fn delta_update_matches_cold_prepare_bitwise() {
+        let lib = CellLibrary::asap7_like();
+        let nl0 = ripple_carry_adder(4, &lib);
+        let pl0 = place(&nl0, &lib, 0, &PlaceConfig::default());
+        let g0 = TimingGraph::build(&nl0, &lib);
+        let cfg = ModelConfig::tiny();
+        let zeros = |g: &TimingGraph| vec![0.0f32; g.endpoints().len()];
+
+        let (prep0, mut ctx) =
+            PreparedDesign::prepare_full(&nl0, &lib, &pl0, &g0, &cfg, zeros(&g0));
+
+        // Step 1: insert a buffer in front of some net sink. Seeds follow
+        // the `opt::dirty_seed_pins` contract: pins of the new cell plus
+        // sinks of the new/changed net edges.
+        let mut nl1 = nl0.clone();
+        let mut pl1 = pl0.clone();
+        let (net_id, sink) =
+            nl1.nets().map(|(id, net)| (id, net.sinks[0])).next().expect("adder has nets");
+        nl1.disconnect_sink(net_id, sink).unwrap();
+        let buf_ty = lib.pick(rtt_netlist::GateFn::Buf, 1).expect("library has a buffer");
+        let (buf, buf_out) = nl1.add_cell("delta_buf", buf_ty, &lib);
+        let buf_in = nl1.cell(buf).inputs[0];
+        nl1.add_sink(net_id, buf_in).unwrap();
+        nl1.connect_net("delta_buf_net", buf_out, &[sink]).unwrap();
+        pl1.place_cell(buf, pl1.floorplan().die.center());
+        let g1 = TimingGraph::build(&nl1, &lib);
+        let seeds = [buf_in, buf_out, sink];
+        let prep1 =
+            prep0.update(&mut ctx, (&nl0, &pl0), (&nl1, &pl1), &lib, &g1, &cfg, &seeds, zeros(&g1));
+        let cold1 = PreparedDesign::prepare(&nl1, &lib, &pl1, &g1, &cfg, zeros(&g1));
+        prep1.bit_eq(&cold1).expect("delta after buffer insertion matches cold prepare");
+
+        // Step 2: chained update — move a cell; no structural seeds.
+        let mut pl2 = pl1.clone();
+        let (victim, _) = nl1.cells().next().expect("adder has cells");
+        let die = pl2.floorplan().die;
+        pl2.place_cell(victim, rtt_place::Point { x: die.x0 + 1.0, y: die.y1 - 1.0 });
+        let prep2 =
+            prep1.update(&mut ctx, (&nl1, &pl1), (&nl1, &pl2), &lib, &g1, &cfg, &[], zeros(&g1));
+        let cold2 = PreparedDesign::prepare(&nl1, &lib, &pl2, &g1, &cfg, zeros(&g1));
+        prep2.bit_eq(&cold2).expect("delta after cell move matches cold prepare");
+
+        // Step 3: no-op update — nothing may be recomputed.
+        let before = [
+            counter(PREP_MASKS_RECOMPUTED_COUNTER),
+            counter(PREP_FEAT_ROWS_RECOMPUTED_COUNTER),
+            counter(PREP_MAP_BINS_RECOMPUTED_COUNTER),
+        ];
+        let prep3 =
+            prep2.update(&mut ctx, (&nl1, &pl2), (&nl1, &pl2), &lib, &g1, &cfg, &[], zeros(&g1));
+        prep3.bit_eq(&cold2).expect("no-op delta is stable");
+        let after = [
+            counter(PREP_MASKS_RECOMPUTED_COUNTER),
+            counter(PREP_FEAT_ROWS_RECOMPUTED_COUNTER),
+            counter(PREP_MAP_BINS_RECOMPUTED_COUNTER),
+        ];
+        assert_eq!(before, after, "a no-op update must recompute zero masks/rows/bins");
+    }
+
+    /// A floorplan change falls back to a cold prepare internally and
+    /// still produces a bit-identical result.
+    #[test]
+    fn delta_update_survives_floorplan_change() {
+        let lib = CellLibrary::asap7_like();
+        let nl = ripple_carry_adder(2, &lib);
+        let pl = place(&nl, &lib, 0, &PlaceConfig::default());
+        let graph = TimingGraph::build(&nl, &lib);
+        let cfg = ModelConfig::tiny();
+        let zeros = vec![0.0f32; graph.endpoints().len()];
+        let (prep, mut ctx) =
+            PreparedDesign::prepare_full(&nl, &lib, &pl, &graph, &cfg, zeros.clone());
+        // Re-place with a different seed: every cell moves, and the die
+        // may differ — exercises the global-invalidation path.
+        let pl2 = place(&nl, &lib, 7, &PlaceConfig::default());
+        let upd =
+            prep.update(&mut ctx, (&nl, &pl), (&nl, &pl2), &lib, &graph, &cfg, &[], zeros.clone());
+        let cold = PreparedDesign::prepare(&nl, &lib, &pl2, &graph, &cfg, zeros);
+        upd.bit_eq(&cold).expect("update across a re-place matches cold prepare");
     }
 }

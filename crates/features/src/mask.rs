@@ -23,7 +23,20 @@ pub fn longest_path(graph: &TimingGraph, ep: u32) -> Vec<u32> {
 /// reuse one allocation across endpoints.
 pub fn longest_path_into(graph: &TimingGraph, ep: u32, path: &mut Vec<u32>) {
     path.clear();
-    path.push(ep);
+    path.resize(graph.level(ep) as usize + 1, 0);
+    let n = fill_path(graph, ep, path);
+    path.truncate(n);
+}
+
+/// Allocation-free core of [`longest_path_into`]: writes the path into
+/// `buf` — which must hold at least `level(ep) + 1` entries — and
+/// returns its length. The batched mask kernels call this with one
+/// scratch buffer sized to `max_level + 1` per task, keeping the hot
+/// loop free of `Vec` growth.
+fn fill_path(graph: &TimingGraph, ep: u32, buf: &mut [u32]) -> usize {
+    assert!(buf.len() > graph.level(ep) as usize, "buf holds level(ep) + 1 nodes");
+    buf[0] = ep;
+    let mut n = 1;
     let mut v = ep;
     while graph.level(v) > 0 {
         let want = graph.level(v) - 1;
@@ -34,10 +47,12 @@ pub fn longest_path_into(graph: &TimingGraph, ep: u32, path: &mut Vec<u32>) {
         let pred = graph.fanin(v).find(|e| graph.level(e.from) == want).map(|e| e.from);
         debug_assert!(pred.is_some(), "a node at level l has a fanin at level l-1");
         let Some(pred) = pred else { break };
-        path.push(pred);
+        buf[n] = pred;
+        n += 1;
         v = pred;
     }
-    path.reverse();
+    buf[..n].reverse();
+    n
 }
 
 /// Builds the critical-region mask of one endpoint at `grid × grid`
@@ -108,24 +123,98 @@ pub fn endpoint_masks(
     // Geometry only: read by `bin_of`, never written.
     let geom = Grid::new(grid, grid, placement.floorplan().die);
     out.par_chunks_mut(MASK_CHUNK * gg).enumerate().for_each(|(c, rows)| {
-        let mut path = Vec::new();
+        let mut path = vec![0u32; graph.max_level() as usize + 1];
         for (j, row) in rows.chunks_mut(gg).enumerate() {
-            longest_path_into(graph, eps[c * MASK_CHUNK + j], &mut path);
-            for pair in path.windows(2) {
-                let (u, v) = (pair[0], pair[1]);
-                let is_net = graph.fanin(v).any(|e| e.from == u && e.kind == EdgeKind::Net);
-                if !is_net {
-                    continue;
-                }
-                let a = placement.pin_position(netlist, graph.pin_of(u));
-                let b = placement.pin_position(netlist, graph.pin_of(v));
-                let r = Rect::bounding(a, b);
-                let (x0, y0) = geom.bin_of(r.x0, r.y0);
-                let (x1, y1) = geom.bin_of(r.x1, r.y1);
-                for y in y0..=y1 {
-                    row[y * grid + x0..=y * grid + x1].fill(1.0);
-                }
-            }
+            fill_mask_row(
+                netlist,
+                placement,
+                graph,
+                &geom,
+                grid,
+                eps[c * MASK_CHUNK + j],
+                &mut path,
+                row,
+            );
+        }
+    });
+    out
+}
+
+/// Fills one endpoint's (pre-zeroed) dense mask row — the shared inner
+/// kernel of [`endpoint_masks`] and [`endpoint_masks_sparse_for`], so a
+/// cone-scoped recompute is bit-identical to the batched cold pass.
+/// `path` is a caller-owned scratch of at least `max_level + 1` entries.
+// rtt-lint: hot
+#[allow(clippy::too_many_arguments)]
+fn fill_mask_row(
+    netlist: &Netlist,
+    placement: &Placement,
+    graph: &TimingGraph,
+    geom: &Grid,
+    grid: usize,
+    ep: u32,
+    path: &mut [u32],
+    row: &mut [f32],
+) {
+    assert!(row.len() == grid * grid, "row is one grid² mask");
+    let n = fill_path(graph, ep, path);
+    assert!(n <= path.len(), "fill_path stays within the path scratch");
+    let steps = &path[..n];
+    for pair in steps.windows(2) {
+        let (u, v) = (pair[0], pair[1]);
+        let is_net = graph.fanin(v).any(|e| e.from == u && e.kind == EdgeKind::Net);
+        if !is_net {
+            continue;
+        }
+        let a = placement.pin_position(netlist, graph.pin_of(u));
+        let b = placement.pin_position(netlist, graph.pin_of(v));
+        let r = Rect::bounding(a, b);
+        let (x0, y0) = geom.bin_of(r.x0, r.y0);
+        let (x1, y1) = geom.bin_of(r.x1, r.y1);
+        for y in y0..=y1 {
+            row[y * grid + x0..=y * grid + x1].fill(1.0);
+        }
+    }
+}
+
+/// Computes the masks of an arbitrary subset of endpoint nodes in
+/// *sparse* form: per endpoint, the ascending indices of its set bins.
+///
+/// This is the cone-scoped recompute behind the delta-prepare path: only
+/// endpoints whose fan-in cone a transform invalidated are listed in
+/// `eps`; every other endpoint's sparse row is carried over from the
+/// previous preparation. Rows are independent, so the chunked fan-out is
+/// deterministic at any thread count, and each row is bit-identical to
+/// sparsifying the matching [`endpoint_masks`] row with `v > 0.0`.
+pub fn endpoint_masks_sparse_for(
+    netlist: &Netlist,
+    placement: &Placement,
+    graph: &TimingGraph,
+    grid: usize,
+    eps: &[u32],
+) -> Vec<Vec<u32>> {
+    let obs = rtt_obs::span("features::endpoint_masks_sparse_for");
+    obs.add("endpoints", eps.len() as u64);
+    let gg = grid * grid;
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); eps.len()];
+    let geom = Grid::new(grid, grid, placement.floorplan().die);
+    out.par_chunks_mut(MASK_CHUNK).enumerate().for_each(|(c, rows)| {
+        let mut path = vec![0u32; graph.max_level() as usize + 1];
+        let mut dense = vec![0.0f32; gg];
+        for (j, sparse) in rows.iter_mut().enumerate() {
+            dense.fill(0.0);
+            fill_mask_row(
+                netlist,
+                placement,
+                graph,
+                &geom,
+                grid,
+                eps[c * MASK_CHUNK + j],
+                &mut path,
+                &mut dense,
+            );
+            sparse
+                .extend(dense.iter().enumerate().filter(|(_, &v)| v > 0.0).map(|(i, _)| i as u32));
         }
     });
     out

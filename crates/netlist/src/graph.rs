@@ -63,7 +63,10 @@ pub struct TimingGraph {
     fanout: Vec<u32>, // edge indices
     level: Vec<u32>,
     max_level: u32,
-    nodes_by_level: Vec<Vec<u32>>,
+    /// CSR level index: level `l` owns `level_nodes[level_off[l]..level_off[l + 1]]`
+    /// (`len = max_level + 2`), nodes ascending within a level.
+    level_off: Vec<u32>,
+    level_nodes: Vec<u32>,
     endpoints: Vec<u32>,
     startpoints: Vec<u32>,
 }
@@ -165,9 +168,22 @@ impl TimingGraph {
         }
 
         let max_level = level.iter().copied().max().unwrap_or(0);
-        let mut nodes_by_level = vec![Vec::new(); max_level as usize + 1];
+        // Counting sort of nodes by level: same order as pushing each
+        // `v` in ascending order onto a per-level Vec, without the
+        // Vec-of-Vec indirection.
+        let mut level_off = vec![0u32; max_level as usize + 2];
+        for &l in &level {
+            level_off[l as usize + 1] += 1;
+        }
+        for i in 1..level_off.len() {
+            level_off[i] += level_off[i - 1];
+        }
+        let mut cursor = level_off.clone();
+        let mut level_nodes = vec![0u32; n];
         for v in 0..n as u32 {
-            nodes_by_level[level[v as usize] as usize].push(v);
+            let l = level[v as usize] as usize;
+            level_nodes[cursor[l] as usize] = v;
+            cursor[l] += 1;
         }
 
         // Node kinds from fanin edge types.
@@ -213,7 +229,8 @@ impl TimingGraph {
             fanout,
             level,
             max_level,
-            nodes_by_level,
+            level_off,
+            level_nodes,
             endpoints,
             startpoints,
         })
@@ -284,7 +301,8 @@ impl TimingGraph {
 
     /// Nodes at topological level `l`.
     pub fn nodes_at_level(&self, l: u32) -> &[u32] {
-        &self.nodes_by_level[l as usize]
+        let (s, e) = (self.level_off[l as usize] as usize, self.level_off[l as usize + 1] as usize);
+        &self.level_nodes[s..e]
     }
 
     /// Timing endpoints: primary-output ports and flip-flop data pins.
@@ -299,7 +317,7 @@ impl TimingGraph {
 
     /// Nodes in topological order (level-major, stable within level).
     pub fn topo_order(&self) -> impl Iterator<Item = u32> + '_ {
-        self.nodes_by_level.iter().flatten().copied()
+        self.level_nodes.iter().copied()
     }
 }
 
@@ -375,7 +393,7 @@ mod tests {
         for e in g.edges() {
             assert!(g.level(e.to) > g.level(e.from));
         }
-        // nodes_by_level partitions the node set
+        // the CSR level index partitions the node set
         let total: usize = (0..=g.max_level()).map(|l| g.nodes_at_level(l).len()).sum();
         assert_eq!(total, g.num_nodes());
     }

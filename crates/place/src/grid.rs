@@ -119,6 +119,41 @@ impl Grid {
         }
     }
 
+    /// [`Self::splat`], restricted to bins where `mask` is `true`.
+    ///
+    /// Mirrors `splat` exactly (including the degenerate-rect branch), so
+    /// that for any masked bin the accumulated value is bit-identical to
+    /// what an unrestricted splat would have deposited there — the
+    /// property the delta map update in `rtt_features` relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != width * height`.
+    pub fn splat_masked(&mut self, r: Rect, v: f32, mask: &[bool]) {
+        assert_eq!(mask.len(), self.w * self.h, "mask must cover every bin");
+        if r.area() <= 0.0 {
+            let (x, y) = self.bin_of(r.x0, r.y0);
+            if mask[y * self.w + x] {
+                self.data[y * self.w + x] += v;
+            }
+            return;
+        }
+        let (x0, y0) = self.bin_of(r.x0, r.y0);
+        let (x1, y1) = self.bin_of(r.x1, r.y1);
+        for by in y0..=y1 {
+            for bx in x0..=x1 {
+                if !mask[by * self.w + bx] {
+                    continue;
+                }
+                let b = self.bin_rect(bx, by);
+                let ox = (r.x1.min(b.x1) - r.x0.max(b.x0)).max(0.0);
+                let oy = (r.y1.min(b.y1) - r.y0.max(b.y0)).max(0.0);
+                let frac = (ox * oy) / r.area();
+                self.data[by * self.w + bx] += v * frac;
+            }
+        }
+    }
+
     /// Sum of all bin values.
     pub fn total(&self) -> f32 {
         self.data.iter().sum()

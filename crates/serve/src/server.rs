@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rtt_core::{IncrementalCtx, PreparedDesign, TimingModel};
+use rtt_core::{IncrementalCtx, PrepareCtx, PreparedDesign, TimingModel};
 use rtt_netlist::{CellId, CellLibrary, NetId, Netlist, PinId, TimingGraph};
 use rtt_nn::InferCtx;
 use rtt_place::{Placement, Point};
@@ -116,6 +116,11 @@ struct Conn {
 struct DesignEntry {
     sources: Option<(Netlist, Placement)>,
     prep: Arc<PreparedDesign>,
+    /// Delta-prepare context: lets `/transform` update the preparation
+    /// in place instead of recomputing it. `None` for boot-seeded
+    /// designs (immutable, never transformed) and after a grid change;
+    /// a missing context falls back to a cold prepare and re-arms.
+    pctx: Option<PrepareCtx>,
     inc: IncrementalCtx,
     pending: Vec<PinId>,
     design_generation: u64,
@@ -127,6 +132,7 @@ impl DesignEntry {
         Self {
             sources: None,
             prep: Arc::new(prep),
+            pctx: None,
             inc: IncrementalCtx::new(),
             pending: Vec::new(),
             design_generation: 1,
@@ -694,7 +700,10 @@ fn transform(shared: &Shared, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let mut entry = entry.lock().unwrap_or_else(PoisonError::into_inner);
-    let Some((netlist, placement)) = &entry.sources else {
+    // Disjoint field borrows: the delta-prepare below reads `sources`
+    // while taking `pctx` out of the entry.
+    let DesignEntry { sources, prep, pctx, pending, design_generation, .. } = &mut *entry;
+    let Some((netlist, placement)) = sources.as_ref() else {
         return Response::text(422, "design has no sources (boot-seeded designs are immutable)\n");
     };
 
@@ -765,17 +774,37 @@ fn transform(shared: &Shared, req: &Request) -> Response {
     };
     let config = shared.swap.current().model.config().clone();
     let targets = vec![0.0f32; graph.endpoints().len()];
-    let prep = PreparedDesign::prepare(&nl, &library, &pl, &graph, &config, targets);
     let seeds = rtt_opt::dirty_seed_pins(netlist, &nl);
+    // Delta path when a prepare context is armed: carry the previous
+    // preparation's clean work across the transform (bit-identical to a
+    // cold prepare). The context is taken out first, so a panic mid-update
+    // simply drops it and the next transform re-arms cold.
+    let (new_prep, new_ctx) = match pctx.take() {
+        Some(mut ctx) => {
+            let updated = prep.update(
+                &mut ctx,
+                (netlist, placement),
+                (&nl, &pl),
+                &library,
+                &graph,
+                &config,
+                &seeds,
+                targets,
+            );
+            (updated, ctx)
+        }
+        None => PreparedDesign::prepare_full(&nl, &library, &pl, &graph, &config, targets),
+    };
     let dirty = seeds.len();
 
     // Publish: everything below is infallible, so partial updates are
     // impossible.
-    entry.pending.extend(seeds);
-    entry.sources = Some((nl, pl));
-    entry.prep = Arc::new(prep);
-    entry.design_generation += 1;
-    Response::text(200, format!("generation={}\ndirty={dirty}\n", entry.design_generation))
+    pending.extend(seeds);
+    *sources = Some((nl, pl));
+    *prep = Arc::new(new_prep);
+    *pctx = Some(new_ctx);
+    *design_generation += 1;
+    Response::text(200, format!("generation={design_generation}\ndirty={dirty}\n"))
 }
 
 /// `POST /reload` — re-reads the configured weights file (through the
@@ -848,11 +877,13 @@ fn load_design(shared: &Shared, req: &Request) -> Response {
     // Serving only predicts; targets are a training-time concept, but
     // prepare() wants one per endpoint.
     let targets = vec![0.0f32; endpoints];
-    let prep = PreparedDesign::prepare(&netlist, &library, &placement, &graph, &config, targets);
+    let (prep, pctx) =
+        PreparedDesign::prepare_full(&netlist, &library, &placement, &graph, &config, targets);
     // Keep the parsed sources: they are what /transform mutates.
     let entry = DesignEntry {
         sources: Some((netlist, placement)),
         prep: Arc::new(prep),
+        pctx: Some(pctx),
         inc: IncrementalCtx::new(),
         pending: Vec::new(),
         design_generation: 1,

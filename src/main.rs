@@ -263,10 +263,10 @@ fn cmd_opt(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Predicts the optimized design's endpoint arrivals twice — incrementally
-/// (reusing the activations cached for the pre-optimization design, dirty
-/// cones seeded by [`restructure_timing::opt::dirty_seed_pins`]) and with
-/// a cold full forward — reporting the reuse ratio and verifying the two
-/// agree bit-for-bit.
+/// (delta-updated preparation plus cached activations, dirty cones seeded
+/// by [`restructure_timing::opt::dirty_seed_pins`]) and with a cold full
+/// prepare + forward — reporting the reuse ratios and verifying both the
+/// preparation and the predictions agree bit-for-bit.
 fn opt_incremental_report(
     lib: &CellLibrary,
     (before, before_placement): (&Netlist, &Placement),
@@ -274,18 +274,66 @@ fn opt_incremental_report(
     weights: &str,
     scale: Scale,
 ) -> Result<(), String> {
-    use restructure_timing::model::{IncrementalCtx, ROWS_RECOMPUTED_COUNTER, ROWS_TOTAL_COUNTER};
+    use restructure_timing::model::{
+        IncrementalCtx, PREP_MASKS_RECOMPUTED_COUNTER, PREP_MASKS_TOTAL_COUNTER,
+        ROWS_RECOMPUTED_COUNTER, ROWS_TOTAL_COUNTER,
+    };
     use restructure_timing::nn::InferCtx;
 
     let model = load_model_file(weights, scale)?;
     let cfg = model.config().clone();
-    let prepare = |nl: &Netlist, pl: &Placement| -> Result<PreparedDesign, String> {
-        let graph = TimingGraph::try_build(nl, lib).map_err(|e| format!("timing graph: {e}"))?;
-        let targets = vec![0.0; graph.endpoints().len()];
-        Ok(PreparedDesign::prepare(nl, lib, pl, &graph, &cfg, targets))
+    let build = |nl: &Netlist| -> Result<TimingGraph, String> {
+        TimingGraph::try_build(nl, lib).map_err(|e| format!("timing graph: {e}"))
     };
-    let prep_before = prepare(before, before_placement)?;
-    let prep_after = prepare(after, after_placement)?;
+    let graph_before = build(before)?;
+    let (prep_before, mut pctx) = PreparedDesign::prepare_full(
+        before,
+        lib,
+        before_placement,
+        &graph_before,
+        &cfg,
+        vec![0.0; graph_before.endpoints().len()],
+    );
+
+    let counters_at =
+        |key: &str| restructure_timing::obs::snapshot().counters.get(key).copied().unwrap_or(0);
+    let seeds = restructure_timing::opt::dirty_seed_pins(before, after);
+
+    // Preparation, both ways: a cold prepare of the optimized design, and
+    // a delta update of the input design's preparation. They must agree
+    // field-by-field to the bit.
+    let graph_after = build(after)?;
+    let targets = vec![0.0; graph_after.endpoints().len()];
+    let tc = std::time::Instant::now();
+    let prep_cold =
+        PreparedDesign::prepare(after, lib, after_placement, &graph_after, &cfg, targets.clone());
+    let cold_prep_s = tc.elapsed().as_secs_f64();
+    let (masks0, masks_total0) =
+        (counters_at(PREP_MASKS_RECOMPUTED_COUNTER), counters_at(PREP_MASKS_TOTAL_COUNTER));
+    let td = std::time::Instant::now();
+    let prep_after = prep_before.update(
+        &mut pctx,
+        (before, before_placement),
+        (after, after_placement),
+        lib,
+        &graph_after,
+        &cfg,
+        &seeds,
+        targets,
+    );
+    let delta_prep_s = td.elapsed().as_secs_f64();
+    let masks = counters_at(PREP_MASKS_RECOMPUTED_COUNTER) - masks0;
+    let masks_total = counters_at(PREP_MASKS_TOTAL_COUNTER) - masks_total0;
+    prep_after
+        .bit_eq(&prep_cold)
+        .map_err(|field| format!("delta-prepared design diverged from cold prepare at {field}"))?;
+    println!(
+        "delta prepare: {masks}/{masks_total} masks recomputed, {:.1} ms vs {:.1} ms cold \
+         ({:.1}x)",
+        delta_prep_s * 1e3,
+        cold_prep_s * 1e3,
+        cold_prep_s / delta_prep_s.max(1e-9),
+    );
 
     let ctx = InferCtx::new();
     let mut inc = IncrementalCtx::new();
@@ -294,10 +342,7 @@ fn opt_incremental_report(
     let all_before: Vec<u32> = (0..prep_before.num_endpoints() as u32).collect();
     let _ = model.predict_incremental(&ctx, &mut inc, &prep_before, &[], &all_before);
 
-    let seeds = restructure_timing::opt::dirty_seed_pins(before, after);
     let all_after: Vec<u32> = (0..prep_after.num_endpoints() as u32).collect();
-    let counters_at =
-        |key: &str| restructure_timing::obs::snapshot().counters.get(key).copied().unwrap_or(0);
     let (rows0, total0) = (counters_at(ROWS_RECOMPUTED_COUNTER), counters_at(ROWS_TOTAL_COUNTER));
     let t0 = std::time::Instant::now();
     let inc_pred = model.predict_incremental(&ctx, &mut inc, &prep_after, &seeds, &all_after);
@@ -328,7 +373,9 @@ fn opt_incremental_report(
 fn model_config_for(scale: Scale) -> ModelConfig {
     match scale {
         Scale::Tiny => ModelConfig::tiny(),
-        Scale::Small => ModelConfig::small(),
+        // `Huge` scales the circuits, not the model: it exists for
+        // preparation benchmarks, which are architecture-independent.
+        Scale::Small | Scale::Huge => ModelConfig::small(),
         Scale::Paper => ModelConfig::paper(),
     }
 }

@@ -1,12 +1,17 @@
 //! Differential transform-fuzz harness for dirty-cone incremental
-//! prediction.
+//! prediction *and* delta-aware preparation.
 //!
-//! The property: after *any* sequence of optimizer transforms,
-//! `TimingModel::predict_incremental` — reusing activations cached for
-//! the previous design state and recomputing only the dirtied fan-out
-//! cones seeded by `rtt_opt::dirty_seed_pins` — produces bit-identical
-//! predictions to a cold `predict_batch` over the same design, at 1 and
-//! at 4 threads, and the same bits across the two thread counts.
+//! The property: after *any* sequence of optimizer transforms, (a)
+//! `PreparedDesign::update` — reusing the previous design's schedule,
+//! node features, layout maps, and endpoint masks outside the
+//! transform's dirty cone — is bit-identical, field by field, to a cold
+//! `prepare` of the transformed design, and (b)
+//! `TimingModel::predict_incremental` — fed that delta-updated
+//! preparation and reusing activations cached for the previous design
+//! state, recomputing only the dirtied fan-out cones seeded by
+//! `rtt_opt::dirty_seed_pins` — produces bit-identical predictions to a
+//! cold `predict_batch` over the same design, at 1 and at 4 threads,
+//! and the same bits across the two thread counts.
 //!
 //! The offline `proptest` shim has no shrinking, so shrinking is
 //! replay-based and manual: every applied transform is recorded as a
@@ -22,7 +27,11 @@
 //! counters) runs inside a single `#[test]`.
 
 use proptest::TestRunner;
-use restructure_timing::model::{IncrementalCtx, ROWS_RECOMPUTED_COUNTER, ROWS_TOTAL_COUNTER};
+use restructure_timing::model::{
+    IncrementalCtx, PrepareCtx, PREP_FEAT_ROWS_RECOMPUTED_COUNTER,
+    PREP_MAP_BINS_RECOMPUTED_COUNTER, PREP_MASKS_RECOMPUTED_COUNTER, PREP_MASKS_TOTAL_COUNTER,
+    ROWS_RECOMPUTED_COUNTER, ROWS_TOTAL_COUNTER,
+};
 use restructure_timing::netlist::{CellId, NetId, PinId, DRIVE_STRENGTHS};
 use restructure_timing::nn::{parallel, InferCtx};
 use restructure_timing::opt::{self, dirty_seed_pins};
@@ -202,8 +211,11 @@ fn prepare_design(
 }
 
 /// Replays `ops` from the base design, checking after every applied op
-/// that the incremental prediction bit-matches a cold full forward.
-/// Returns the per-step predictions, or `(failing op index, message)`.
+/// that (a) the delta-updated `PreparedDesign` is bit-identical,
+/// field-by-field, to a cold `prepare` of the transformed design, and
+/// (b) the incremental prediction — fed the delta-updated preparation —
+/// bit-matches a cold full forward. Returns the per-step predictions, or
+/// `(failing op index, message)`.
 fn run_sequence(
     model: &TimingModel,
     ctx: &InferCtx,
@@ -216,19 +228,45 @@ fn run_sequence(
     let mut nl = base_nl.clone();
     let mut pl = base_pl.clone();
     let mut inc = IncrementalCtx::new();
-    // Prime the cache with a full pass over the base design.
-    let prep = prepare_design(&nl, &pl, lib, cfg);
+    // Prime the cache with a full pass over the base design, keeping the
+    // prepare context so every later step goes through the delta path.
+    let graph = TimingGraph::try_build(&nl, lib).expect("base netlist must be a DAG");
+    let targets = vec![0.0f32; graph.endpoints().len()];
+    let (mut prep, mut pctx) = PreparedDesign::prepare_full(&nl, lib, &pl, &graph, cfg, targets);
     let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
     let _ = model.predict_incremental(ctx, &mut inc, &prep, &[], &all);
 
     let mut steps = Vec::new();
     for (i, op) in ops.iter().enumerate() {
-        let before = nl.clone();
+        let before_nl = nl.clone();
+        let before_pl = pl.clone();
         if !apply(op, &mut nl, &mut pl, lib) {
             continue;
         }
-        let seeds = dirty_seed_pins(&before, &nl);
-        let prep = prepare_design(&nl, &pl, lib, cfg);
+        let seeds = dirty_seed_pins(&before_nl, &nl);
+        let graph = TimingGraph::try_build(&nl, lib).expect("transformed netlist must stay a DAG");
+        let targets = vec![0.0f32; graph.endpoints().len()];
+        let cold = PreparedDesign::prepare(&nl, lib, &pl, &graph, cfg, targets.clone());
+        let delta = prep.update(
+            &mut pctx,
+            (&before_nl, &before_pl),
+            (&nl, &pl),
+            lib,
+            &graph,
+            cfg,
+            &seeds,
+            targets,
+        );
+        if let Err(field) = delta.bit_eq(&cold) {
+            return Err((
+                i,
+                format!(
+                    "step {i} ({op:?}): delta-updated preparation diverged from cold \
+                     prepare at field `{field}`"
+                ),
+            ));
+        }
+        prep = delta;
         let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
         let inc_pred = model.predict_incremental(ctx, &mut inc, &prep, &seeds, &all);
         let full = model.predict_batch(ctx, &prep, &all);
@@ -248,6 +286,54 @@ fn run_sequence(
         steps.push(inc_pred);
     }
     Ok(steps)
+}
+
+/// Applies one engineered transform and asserts both halves of the delta
+/// contract: the delta-updated `PreparedDesign` is bit-identical to a
+/// cold prepare, and the incremental prediction on top of it bit-matches
+/// a full forward. Returns `false` when the op was inapplicable (its
+/// site never materialized on this design), leaving all state untouched.
+#[allow(clippy::too_many_arguments)]
+fn check_delta_step(
+    label: &str,
+    op: &Op,
+    model: &TimingModel,
+    ctx: &InferCtx,
+    lib: &CellLibrary,
+    nl: &mut Netlist,
+    pl: &mut Placement,
+    prep: &mut PreparedDesign,
+    pctx: &mut PrepareCtx,
+    inc: &mut IncrementalCtx,
+) -> bool {
+    let cfg = model.config();
+    let before_nl = nl.clone();
+    let before_pl = pl.clone();
+    if !apply(op, nl, pl, lib) {
+        return false;
+    }
+    let seeds = dirty_seed_pins(&before_nl, nl);
+    let graph = TimingGraph::try_build(nl, lib).expect("transformed netlist must stay a DAG");
+    let targets = vec![0.0f32; graph.endpoints().len()];
+    let cold = PreparedDesign::prepare(nl, lib, pl, &graph, cfg, targets.clone());
+    let delta = prep.update(
+        pctx,
+        (&before_nl, &before_pl),
+        (&*nl, &*pl),
+        lib,
+        &graph,
+        cfg,
+        &seeds,
+        targets,
+    );
+    if let Err(field) = delta.bit_eq(&cold) {
+        panic!("{label}: delta-updated preparation diverged from cold prepare at field `{field}`");
+    }
+    *prep = delta;
+    let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
+    let inc_pred = model.predict_incremental(ctx, inc, prep, &seeds, &all);
+    assert_bits_eq(label, &inc_pred, &model.predict_batch(ctx, prep, &all));
+    true
 }
 
 /// Greedy replay-based shrinking: delete ops one at a time, keeping each
@@ -346,6 +432,213 @@ fn incremental_predict_is_bit_identical_across_random_transform_sequences() {
         }
     }
 
+    // --- Deterministic per-transform coverage ------------------------------
+    // The fuzz loop draws op kinds at random, so any single run may skip a
+    // kind. This chain pins one engineered instance of each transform so
+    // every kind's delta-prepare equivalence is exercised on every run.
+    // Sites are discovered against the live netlist; kinds whose site
+    // exists by construction are asserted applied, the rest are counted.
+    for threads in [1usize, 4] {
+        parallel::set_num_threads(threads);
+        let ctx = InferCtx::new();
+        let (name, base_nl, base_pl) = &designs[1];
+        let mut nl = base_nl.clone();
+        let mut pl = base_pl.clone();
+        let graph = TimingGraph::try_build(&nl, &lib).expect("base netlist must be a DAG");
+        let targets = vec![0.0f32; graph.endpoints().len()];
+        let (mut prep, mut pctx) =
+            PreparedDesign::prepare_full(&nl, &lib, &pl, &graph, model.config(), targets);
+        let mut inc = IncrementalCtx::new();
+        let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
+        let _ = model.predict_incremental(&ctx, &mut inc, &prep, &[], &all);
+        let mut step = |label: &str, op: &Op, nl: &mut Netlist, pl: &mut Placement| {
+            check_delta_step(
+                &format!("{name} @ {threads} threads: {label}"),
+                op,
+                &model,
+                &ctx,
+                &lib,
+                nl,
+                pl,
+                &mut prep,
+                &mut pctx,
+                &mut inc,
+            )
+        };
+
+        // A net with a sink always exists; buffer its first sink.
+        let (net, sink) = nl
+            .nets()
+            .find(|(_, n)| !n.sinks.is_empty())
+            .map(|(id, n)| (id, n.sinks[0]))
+            .expect("design has at least one loaded net");
+        let a = pl.pin_position(&nl, nl.net(net).driver);
+        let b = pl.pin_position(&nl, sink);
+        let pos = Point::new((a.x + b.x) * 0.5, (a.y + b.y) * 0.5);
+        assert!(
+            step("insert_buffer", &Op::InsertBuffer { net, sink, pos }, &mut nl, &mut pl),
+            "engineered insert_buffer must apply"
+        );
+
+        // ... then bypass the buffer we just inserted.
+        let buf = nl
+            .cells()
+            .filter(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Buf)
+            .map(|(id, _)| id)
+            .last()
+            .expect("buffer inserted above is alive");
+        assert!(
+            step("bypass_repeater", &Op::BypassRepeater { cell: buf }, &mut nl, &mut pl),
+            "engineered bypass_repeater must apply"
+        );
+
+        // A comb cell with a different drive variant in the library.
+        let resize = nl.cells().find_map(|(id, c)| {
+            let ty = lib.cell_type(c.type_id);
+            (!ty.is_sequential())
+                .then(|| {
+                    DRIVE_STRENGTHS.iter().find_map(|&drive| {
+                        matches!(lib.pick(ty.gate, drive), Some(t) if t != c.type_id)
+                            .then_some(Op::ResizeCell { cell: id, drive })
+                    })
+                })
+                .flatten()
+        });
+        let op = resize.expect("library has more than one drive per gate");
+        assert!(step("resize_cell", &op, &mut nl, &mut pl), "engineered resize_cell must apply");
+
+        // The remaining kinds depend on sites the generator may not have
+        // produced at this scale; apply each wherever a site exists.
+        let mut applied = vec!["insert_buffer", "bypass_repeater", "resize_cell"];
+        let wide_gate = nl
+            .cells()
+            .find(|(_, c)| {
+                matches!(
+                    lib.cell_type(c.type_id).gate,
+                    GateFn::And3 | GateFn::And4 | GateFn::Or3 | GateFn::Or4
+                )
+            })
+            .map(|(id, _)| id);
+        if let Some(cell) = wide_gate {
+            if step("decompose_gate", &Op::DecomposeGate { cell }, &mut nl, &mut pl) {
+                applied.push("decompose_gate");
+            }
+        }
+        let fat_net = nl.nets().find(|(_, n)| n.sinks.len() > 3).map(|(id, _)| id);
+        if let Some(net) = fat_net {
+            if step(
+                "split_high_fanout",
+                &Op::SplitHighFanout { net, max_fanout: 2 },
+                &mut nl,
+                &mut pl,
+            ) {
+                applied.push("split_high_fanout");
+            }
+        }
+        let pair = nl
+            .cells()
+            .filter(|(_, c)| lib.cell_type(c.type_id).gate == GateFn::Inv)
+            .find_map(|(first, c)| {
+                let out_net = nl.pin(c.output).net?;
+                let &[sink] = nl.net(out_net).sinks.as_slice() else { return None };
+                let second = nl.pin(sink).cell?;
+                let sc = nl.cell(second);
+                (lib.cell_type(sc.type_id).gate == GateFn::Inv && sc.inputs[0] == sink)
+                    .then_some((first, second))
+            });
+        if let Some((first, second)) = pair {
+            if step(
+                "bypass_inverter_pair",
+                &Op::BypassInverterPair { first, second },
+                &mut nl,
+                &mut pl,
+            ) {
+                applied.push("bypass_inverter_pair");
+            }
+        }
+        if step("prune_dangling", &Op::PruneDangling, &mut nl, &mut pl) {
+            applied.push("prune_dangling");
+        }
+
+        // bypass_inverter_pair (and, at this scale, prune_dangling) may
+        // have no natural site; engineer both on a doctored copy — a
+        // hand-built back-to-back inverter pair spliced in front of a
+        // sink, plus a gate whose output drives nothing — and run a
+        // fresh delta chain over it.
+        let mut dnl = nl.clone();
+        let mut dpl = pl.clone();
+        let (net, sink) = dnl
+            .nets()
+            .find(|(_, n)| !n.sinks.is_empty())
+            .map(|(id, n)| (id, n.sinks[0]))
+            .expect("design has at least one loaded net");
+        dnl.disconnect_sink(net, sink).expect("sink is on net");
+        let inv_ty = lib.pick(GateFn::Inv, 1).expect("library has an inverter");
+        let (inv1, inv1_out) = dnl.add_cell("det_inv1", inv_ty, &lib);
+        let (inv2, inv2_out) = dnl.add_cell("det_inv2", inv_ty, &lib);
+        let inv1_in = dnl.cell(inv1).inputs[0];
+        let inv2_in = dnl.cell(inv2).inputs[0];
+        dnl.add_sink(net, inv1_in).expect("net is alive");
+        dnl.connect_net("det_inv_mid", inv1_out, &[inv2_in]).expect("fresh net");
+        dnl.connect_net("det_inv_out", inv2_out, &[sink]).expect("fresh net");
+        let (dangling, _) = dnl.add_cell("det_dangling", inv_ty, &lib);
+        let dangling_in = dnl.cell(dangling).inputs[0];
+        dnl.add_sink(net, dangling_in).expect("net is alive");
+        let center = dpl.floorplan().die.center();
+        for cell in [inv1, inv2, dangling] {
+            dpl.place_cell(cell, center);
+        }
+
+        let graph = TimingGraph::try_build(&dnl, &lib).expect("doctored netlist stays a DAG");
+        let targets = vec![0.0f32; graph.endpoints().len()];
+        let (mut prep, mut pctx) =
+            PreparedDesign::prepare_full(&dnl, &lib, &dpl, &graph, model.config(), targets);
+        let mut inc = IncrementalCtx::new();
+        let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
+        let _ = model.predict_incremental(&ctx, &mut inc, &prep, &[], &all);
+        let mut step2 = |label: &str, op: &Op, nl: &mut Netlist, pl: &mut Placement| {
+            check_delta_step(
+                &format!("{name} (doctored) @ {threads} threads: {label}"),
+                op,
+                &model,
+                &ctx,
+                &lib,
+                nl,
+                pl,
+                &mut prep,
+                &mut pctx,
+                &mut inc,
+            )
+        };
+        assert!(
+            step2(
+                "bypass_inverter_pair",
+                &Op::BypassInverterPair { first: inv1, second: inv2 },
+                &mut dnl,
+                &mut dpl,
+            ),
+            "engineered bypass_inverter_pair must apply"
+        );
+        applied.push("bypass_inverter_pair");
+        assert!(
+            step2("prune_dangling", &Op::PruneDangling, &mut dnl, &mut dpl),
+            "engineered prune_dangling must apply"
+        );
+        if !applied.contains(&"prune_dangling") {
+            applied.push("prune_dangling");
+        }
+
+        let mut kinds = applied.clone();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert!(
+            kinds.len() >= 6,
+            "deterministic chains must exercise at least six transform kinds, got {applied:?}"
+        );
+        eprintln!("deterministic delta-prepare chain @ {threads} threads: {applied:?}");
+    }
+    parallel::set_num_threads(1);
+
     // --- Zero-dirty fixture ------------------------------------------------
     // A transform run that touches no timing-relevant pins (prune with
     // nothing to prune) must produce an empty dirty set and reuse the
@@ -358,7 +651,10 @@ fn incremental_predict_is_bit_identical_across_random_transform_sequences() {
     let mut nl2 = nl.clone();
     // Clear any dangling logic first so the prune below is a true no-op.
     let _ = opt::prune_dangling(&mut nl2, &lib);
-    let prep = prepare_design(&nl2, pl, &lib, cfg);
+    let graph = TimingGraph::try_build(&nl2, &lib).expect("pruned base must stay a DAG");
+    let targets = vec![0.0f32; graph.endpoints().len()];
+    let (prep, mut pctx) =
+        PreparedDesign::prepare_full(&nl2, &lib, pl, &graph, cfg, targets.clone());
     let all: Vec<u32> = (0..prep.num_endpoints() as u32).collect();
 
     let (r0, t0) = (obs_counter(ROWS_RECOMPUTED_COUNTER), obs_counter(ROWS_TOTAL_COUNTER));
@@ -372,7 +668,33 @@ fn incremental_predict_is_bit_identical_across_random_transform_sequences() {
     assert_eq!(removed, 0, "second prune must be a no-op");
     let seeds = dirty_seed_pins(&before, &nl2);
     assert!(seeds.is_empty(), "no-op transform must seed no dirty pins, got {seeds:?}");
-    let prep2 = prepare_design(&nl2, pl, &lib, cfg);
+
+    // Delta-prepare the no-op: every endpoint mask, feature row, and map
+    // bin must be reused (the `core::prepare_*_recomputed` counters do
+    // not move) while the totals confirm the update actually ran.
+    let graph2 = TimingGraph::try_build(&nl2, &lib).expect("no-op keeps the DAG");
+    let (pm0, pf0, pb0, pt0) = (
+        obs_counter(PREP_MASKS_RECOMPUTED_COUNTER),
+        obs_counter(PREP_FEAT_ROWS_RECOMPUTED_COUNTER),
+        obs_counter(PREP_MAP_BINS_RECOMPUTED_COUNTER),
+        obs_counter(PREP_MASKS_TOTAL_COUNTER),
+    );
+    let prep2 =
+        prep.update(&mut pctx, (&before, pl), (&nl2, pl), &lib, &graph2, cfg, &seeds, targets);
+    let (pm1, pf1, pb1, pt1) = (
+        obs_counter(PREP_MASKS_RECOMPUTED_COUNTER),
+        obs_counter(PREP_FEAT_ROWS_RECOMPUTED_COUNTER),
+        obs_counter(PREP_MAP_BINS_RECOMPUTED_COUNTER),
+        obs_counter(PREP_MASKS_TOTAL_COUNTER),
+    );
+    assert_eq!(pm1 - pm0, 0, "no-op update must recompute zero endpoint masks");
+    assert_eq!(pf1 - pf0, 0, "no-op update must recompute zero feature rows");
+    assert_eq!(pb1 - pb0, 0, "no-op update must recompute zero map bins");
+    assert!(pt1 > pt0, "no-op update still counts total masks");
+    prep2
+        .bit_eq(&prepare_design(&nl2, pl, &lib, cfg))
+        .unwrap_or_else(|field| panic!("no-op delta prepare diverged at field `{field}`"));
+
     let inc_pred = model.predict_incremental(&ctx, &mut inc, &prep2, &seeds, &all);
     let (r2, t2) = (obs_counter(ROWS_RECOMPUTED_COUNTER), obs_counter(ROWS_TOTAL_COUNTER));
     assert_eq!(r2 - r1, 0, "empty dirty set must reuse the cached activations in full");
